@@ -1,0 +1,93 @@
+"""Ablations of SPB design choices (paper §IV-C and DESIGN.md §5).
+
+* Dynamic data-size variant — paper: worse than plain SPB due to adaptation
+  hysteresis and lost opportunity.  The effect only shows on workloads that
+  mix store widths, so this ablation adds a mixed 8/32-byte memset workload.
+* Backward-burst variant — paper: no evidence backward bursts cause SB
+  stalls, so enabling it does not change the evaluated workloads.
+* SB20 claim — a 20-entry SB with SPB matches a 56-entry SB with at-commit.
+"""
+
+from dataclasses import replace
+
+from conftest import emit, geomean, perf_vs_ideal
+from repro import SystemConfig, simulate
+from repro.config.system import SpbConfig
+from repro.workloads import kernels as K
+from repro.workloads.generator import PhaseSpec, WorkloadSpec, build_trace
+from repro.workloads.phases import compute, loads
+from repro.workloads import SB_BOUND_SPEC, spec2017_names
+
+
+def _mixed_size_trace(length=40_000):
+    """Alternating 8-byte and 32-byte store bursts (scalar vs vectorised)."""
+
+    def mixed(inv, rng, base, pc_base):
+        word = 8 if inv % 2 == 0 else 32
+        return K.memset_kernel(4096, dst_base=base, pc_base=pc_base,
+                               word_bytes=word)
+
+    spec = WorkloadSpec(
+        "mixedsize",
+        (PhaseSpec("mixed", mixed, 0.3, 2000), loads(0.4), compute(0.3)),
+    )
+    return build_trace(spec, length=length, seed=1)
+
+
+def build_ablations():
+    payload = {}
+    # Variants on the paper's SB-bound workloads (all 8-byte stores).
+    for sb in (14, 28):
+        for name, cfg in (
+            ("plain", SpbConfig()),
+            ("dynamic", SpbConfig(dynamic_size=True)),
+            ("backward", SpbConfig(backward=True)),
+        ):
+            value = geomean(
+                [perf_vs_ideal(app, "spb", sb, spb=cfg) for app in SB_BOUND_SPEC]
+            )
+            payload[f"SB{sb}/{name}"] = round(value, 4)
+    # Dynamic-size variant on a mixed-width workload (where it can differ).
+    trace = _mixed_size_trace()
+    for name, dynamic in (("plain", False), ("dynamic", True)):
+        config = replace(
+            SystemConfig.skylake(sb_entries=14, store_prefetch="spb"),
+            spb=SpbConfig(dynamic_size=dynamic),
+        )
+        result = simulate(trace, config)
+        payload[f"mixed-width/{name}"] = {
+            "cycles": result.cycles,
+            "sb_stall_ratio": round(result.sb_stall_ratio, 4),
+            "bursts": result.detector_stats.bursts_triggered,
+        }
+    # The SB-downsizing headline (uses the full suite).
+    apps = spec2017_names()
+    payload["ALL/spb/SB20"] = round(
+        geomean([perf_vs_ideal(app, "spb", 20) for app in apps]), 4
+    )
+    payload["ALL/at-commit/SB56"] = round(
+        geomean([perf_vs_ideal(app, "at-commit", 56) for app in apps]), 4
+    )
+    return emit("ablations", payload)
+
+
+def test_ablations(figure):
+    payload = figure(build_ablations)
+    for sb in (14, 28):
+        plain = payload[f"SB{sb}/plain"]
+        # On all-8-byte workloads the variants cannot beat plain SPB.
+        assert payload[f"SB{sb}/dynamic"] <= plain + 0.01
+        # Backward bursts do not help the evaluated (forward) workloads.
+        assert abs(payload[f"SB{sb}/backward"] - plain) < 0.02
+    # On mixed widths the dynamic variant is strictly worse (paper §IV-C:
+    # adaptation hysteresis and lost opportunity).
+    assert (
+        payload["mixed-width/dynamic"]["cycles"]
+        > payload["mixed-width/plain"]["cycles"]
+    )
+    assert (
+        payload["mixed-width/dynamic"]["bursts"]
+        < payload["mixed-width/plain"]["bursts"]
+    )
+    # A 20-entry SB with SPB approaches the 56-entry at-commit baseline.
+    assert payload["ALL/spb/SB20"] >= payload["ALL/at-commit/SB56"] - 0.03

@@ -1,0 +1,43 @@
+"""Figure 1 — ratio of stall cycles due to a full SB, 56 vs 14 entries.
+
+Paper: "the percentage of SB-induced stalls increases as the size of the SB
+is reduced from 56 entries to one fourth (14 entries)", with ALL and
+SB-Bound averages, on the at-commit baseline.
+"""
+
+from conftest import CLASSIFY_LENGTH, emit, spec_groups, spec_run
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def build_figure_1():
+    stall = {
+        sb: {
+            app: spec_run(app, "at-commit", sb, length=CLASSIFY_LENGTH).sb_stall_ratio
+            for app in spec_groups()["ALL"]
+        }
+        for sb in (56, 28, 14)
+    }
+    payload = {}
+    for label, apps in spec_groups().items():
+        for sb in (56, 28, 14):
+            payload[f"{label}/SB{sb}"] = round(
+                _mean([stall[sb][app] for app in apps]), 4
+            )
+    payload["per_app_SB56"] = {
+        app: round(ratio, 4) for app, ratio in sorted(stall[56].items())
+    }
+    return emit("fig01_sb_stall_ratio", payload)
+
+
+def test_fig01_sb_stall_ratio(figure):
+    payload = figure(build_figure_1)
+    # The paper's headline trend: stalls grow as the SB shrinks.
+    assert payload["ALL/SB14"] > payload["ALL/SB56"]
+    assert payload["SB-BOUND/SB14"] > payload["SB-BOUND/SB56"]
+    # SB-bound applications stall more than the full-suite average.
+    assert payload["SB-BOUND/SB56"] > payload["ALL/SB56"]
+    # The >2% criterion separates the paper's SB-bound set.
+    assert payload["SB-BOUND/SB56"] > 0.02

@@ -1,0 +1,39 @@
+"""Figure 3 — location of the stores causing SB-induced stalls.
+
+Paper: for SB-bound applications, most SB-stall cycles come from a handful
+of PCs in library calls (memcpy, memset, calloc) or the OS (clear_page);
+deepsjeng and roms stall in application code instead.
+"""
+
+from conftest import CLASSIFY_LENGTH, emit, spec_run
+from repro.workloads import SB_BOUND_SPEC
+
+
+def build_figure_3():
+    payload = {}
+    for app in SB_BOUND_SPEC:
+        result = spec_run(app, "at-commit", 56, length=CLASSIFY_LENGTH)
+        regions = result.extras["regions"]
+        total = sum(regions.values()) or 1
+        payload[app] = {
+            region: round(cycles / total, 3)
+            for region, cycles in sorted(regions.items())
+        }
+    return emit("fig03_stall_locations", payload)
+
+
+def test_fig03_stall_locations(figure):
+    payload = figure(build_figure_3)
+    # Library/OS-dominated applications.
+    assert payload["bwaves"].get("memcpy", 0) > 0.5
+    assert payload["blender"].get("calloc", 0) > 0.3
+    assert (
+        payload["fotonik3d"].get("clear_page", 0)
+        + payload["fotonik3d"].get("memset", 0)
+    ) > 0.5
+    # Application-code-dominated (manual loops / unrolled sweeps).
+    assert payload["deepsjeng"].get("app", 0) > 0.5
+    assert payload["roms"].get("app", 0) > 0.5
+    # Very few distinct regions cause all stalls (the paper's "few PCs").
+    for app, regions in payload.items():
+        assert len(regions) <= 4

@@ -1,0 +1,46 @@
+"""Figure 5 — execution time normalised to an ideal 1024-entry SB.
+
+Paper numbers to match in shape (performance relative to Ideal, geometric
+mean): at-commit 98.1/93.6/85.9% and SPB 100.5/98.9/95.4% for SB sizes
+56/28/14; the gap between at-commit and SPB widens as the SB shrinks and is
+larger for SB-bound applications.
+"""
+
+from conftest import emit, geomean, perf_vs_ideal, spec_groups
+
+POLICIES = ("at-execute", "at-commit", "spb")
+SB_SIZES = (56, 28, 14)
+
+
+def build_figure_5():
+    payload = {}
+    for label, apps in spec_groups().items():
+        for policy in POLICIES:
+            for sb in SB_SIZES:
+                value = geomean([perf_vs_ideal(app, policy, sb) for app in apps])
+                payload[f"{label}/{policy}/SB{sb}"] = round(value, 4)
+    return emit("fig05_normalized_performance", payload)
+
+
+def test_fig05_normalized_performance(figure):
+    payload = figure(build_figure_5)
+    for label in ("ALL", "SB-BOUND"):
+        for sb in SB_SIZES:
+            spb = payload[f"{label}/spb/SB{sb}"]
+            commit = payload[f"{label}/at-commit/SB{sb}"]
+            # SPB strictly dominates at-commit at every size.
+            assert spb > commit
+        # Performance decays as the SB shrinks, for both policies.
+        for policy in ("at-commit", "spb"):
+            series = [payload[f"{label}/{policy}/SB{sb}"] for sb in SB_SIZES]
+            assert series[0] > series[1] > series[2]
+    # The SPB-vs-at-commit gap widens as the SB shrinks (ALL).
+    gaps = [
+        payload[f"ALL/spb/SB{sb}"] - payload[f"ALL/at-commit/SB{sb}"]
+        for sb in SB_SIZES
+    ]
+    assert gaps[2] > gaps[0]
+    # Band check against the paper's headline numbers (±6 points).
+    assert abs(payload["ALL/at-commit/SB56"] - 0.981) < 0.06
+    assert abs(payload["ALL/at-commit/SB14"] - 0.859) < 0.06
+    assert abs(payload["ALL/spb/SB14"] - 0.954) < 0.06

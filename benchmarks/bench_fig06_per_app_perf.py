@@ -1,0 +1,40 @@
+"""Figure 6 — per-application performance of SB-bound apps vs the ideal SB.
+
+Paper: cactuBSSN, blender, cam4, deepsjeng and fotonik3d tolerate a 14-entry
+SB; bwaves, x264 and roms suffer badly without SPB.  Some applications can
+exceed the ideal under SPB (load-side side effects).
+"""
+
+from conftest import emit, perf_vs_ideal
+from repro.workloads import SB_BOUND_SPEC
+
+GRACEFUL = ("cactuBSSN", "blender", "cam4", "deepsjeng", "fotonik3d")
+SENSITIVE = ("bwaves", "x264", "roms")
+
+
+def build_figure_6():
+    payload = {}
+    for sb in (14, 28, 56):
+        payload[f"SB{sb}"] = {
+            app: {
+                policy: round(perf_vs_ideal(app, policy, sb), 4)
+                for policy in ("at-execute", "at-commit", "spb")
+            }
+            for app in SB_BOUND_SPEC
+        }
+    return emit("fig06_per_app_performance", payload)
+
+
+def test_fig06_per_app_performance(figure):
+    payload = figure(build_figure_6)
+    # Graceful apps: even at-commit stays reasonable at 14 entries.
+    for app in GRACEFUL:
+        assert payload["SB14"][app]["at-commit"] > 0.60
+    # Sensitive apps: a 14-entry SB is a serious penalty without SPB...
+    for app in SENSITIVE:
+        assert payload["SB14"][app]["at-commit"] < 0.80
+        # ...and SPB recovers a large part of it.
+        assert payload["SB14"][app]["spb"] > payload["SB14"][app]["at-commit"] + 0.05
+    # At 56 entries SPB is close to ideal for every SB-bound app.
+    for app in SB_BOUND_SPEC:
+        assert payload["SB56"][app]["spb"] > 0.90

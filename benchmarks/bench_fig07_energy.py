@@ -1,0 +1,51 @@
+"""Figure 7 — energy normalised to at-commit (cache dyn / core dyn / total).
+
+Paper: SPB's net energy savings are 6.7/3.4/1.5% for SB sizes 14/28/56 on
+the full suite, and 16.8/9/4.3% for SB-bound applications; at-execute saves
+around 1%.
+"""
+
+from conftest import emit, spec_groups, spec_run
+
+
+def _group_energy(apps, policy, sb):
+    cache = core = total = 0.0
+    for app in apps:
+        energy = spec_run(app, policy, sb).energy
+        cache += energy.cache_dynamic_j
+        core += energy.core_dynamic_j
+        total += energy.total_j
+    return cache, core, total
+
+
+def build_figure_7():
+    payload = {}
+    for label, apps in spec_groups().items():
+        for sb in (14, 28, 56):
+            base = _group_energy(apps, "at-commit", sb)
+            for policy in ("at-execute", "spb"):
+                cache, core, total = _group_energy(apps, policy, sb)
+                payload[f"{label}/{policy}/SB{sb}"] = {
+                    "cache_dynamic": round(cache / base[0], 4),
+                    "core_dynamic": round(core / base[1], 4),
+                    "total": round(total / base[2], 4),
+                }
+    return emit("fig07_energy", payload)
+
+
+def test_fig07_energy(figure):
+    payload = figure(build_figure_7)
+    # SPB yields net energy savings at every SB size.
+    for label in ("ALL", "SB-BOUND"):
+        for sb in (14, 28, 56):
+            assert payload[f"{label}/spb/SB{sb}"]["total"] < 1.0
+    # Savings grow as the SB shrinks (leakage follows runtime).
+    assert (
+        payload["ALL/spb/SB14"]["total"] < payload["ALL/spb/SB56"]["total"]
+    )
+    # SB-bound apps save more than the suite average at 14 entries.
+    assert (
+        payload["SB-BOUND/spb/SB14"]["total"] < payload["ALL/spb/SB14"]["total"]
+    )
+    # At-execute barely moves energy (paper: around 1%).
+    assert abs(payload["ALL/at-execute/SB56"]["total"] - 1.0) < 0.05

@@ -1,0 +1,41 @@
+"""Figure 8 — SB-induced stalls normalised to at-commit, per SB size.
+
+Paper: SPB drops average SB stalls by 24% (worst, SB56) to 37% (best, SB28);
+the remainder are cold stalls, late prefetches and unmatched patterns.
+"""
+
+from conftest import emit, spec_groups, spec_run
+
+
+def build_figure_8():
+    payload = {}
+    for label, apps in spec_groups().items():
+        for sb in (14, 28, 56):
+            base = sum(
+                spec_run(app, "at-commit", sb).pipeline.sb_stall_cycles
+                for app in apps
+            )
+            for policy in ("at-execute", "spb", "ideal"):
+                if policy == "ideal":
+                    stalls = 0  # by construction
+                else:
+                    stalls = sum(
+                        spec_run(app, policy, sb).pipeline.sb_stall_cycles
+                        for app in apps
+                    )
+                payload[f"{label}/{policy}/SB{sb}"] = round(
+                    stalls / base if base else 0.0, 4
+                )
+    return emit("fig08_sb_stalls", payload)
+
+
+def test_fig08_sb_stalls(figure):
+    payload = figure(build_figure_8)
+    for label in ("ALL", "SB-BOUND"):
+        for sb in (14, 28, 56):
+            value = payload[f"{label}/spb/SB{sb}"]
+            # SPB removes a large share of SB stalls but not all of them.
+            assert value < 0.80
+            assert value > 0.0
+    # The ideal SB has none by definition.
+    assert payload["ALL/ideal/SB56"] == 0.0

@@ -1,0 +1,34 @@
+"""Figure 9 — per SB-bound application SB stalls normalised to at-commit."""
+
+from conftest import emit, spec_run
+from repro.workloads import SB_BOUND_SPEC
+
+
+def build_figure_9():
+    payload = {}
+    for sb in (14, 28, 56):
+        per_app = {}
+        for app in SB_BOUND_SPEC:
+            base = spec_run(app, "at-commit", sb).pipeline.sb_stall_cycles
+            per_app[app] = {
+                policy: round(
+                    spec_run(app, policy, sb).pipeline.sb_stall_cycles / base
+                    if base
+                    else 0.0,
+                    4,
+                )
+                for policy in ("at-execute", "spb")
+            }
+        payload[f"SB{sb}"] = per_app
+    return emit("fig09_per_app_sb_stalls", payload)
+
+
+def test_fig09_per_app_sb_stalls(figure):
+    payload = figure(build_figure_9)
+    for sb_label, per_app in payload.items():
+        for app, values in per_app.items():
+            # SPB never increases SB stalls for an SB-bound application.
+            assert values["spb"] <= 1.05, (sb_label, app)
+        # At least half of the SB-bound apps see a large reduction.
+        big_cuts = sum(values["spb"] < 0.6 for values in per_app.values())
+        assert big_cuts >= len(per_app) // 2

@@ -1,0 +1,53 @@
+"""Figure 10 — issue-stall breakdown normalised to at-commit.
+
+Paper: for SB14, the Ideal SB removes the SB component entirely but adds
+back pressure on other resources; SPB removes most SB stalls while slightly
+reducing the other stalls too, landing close to the Ideal's net reduction.
+"""
+
+from conftest import emit, spec_groups, spec_run
+
+
+def _stall_components(apps, policy, sb):
+    sb_stalls = other = 0
+    for app in apps:
+        stalls = spec_run(app, policy, sb).pipeline.stalls
+        sb_stalls += stalls.sb_full
+        other += stalls.other
+    return sb_stalls, other
+
+
+def build_figure_10():
+    payload = {}
+    for label, apps in spec_groups().items():
+        for sb in (14, 28, 56):
+            base_sb, base_other = _stall_components(apps, "at-commit", sb)
+            base_total = base_sb + base_other or 1
+            for policy in ("at-execute", "spb", "ideal"):
+                pol_sb, pol_other = _stall_components(apps, policy, sb)
+                payload[f"{label}/{policy}/SB{sb}"] = {
+                    "sb": round(pol_sb / base_total, 4),
+                    "other": round(pol_other / base_total, 4),
+                    "net": round((pol_sb + pol_other) / base_total, 4),
+                }
+            payload[f"{label}/at-commit/SB{sb}"] = {
+                "sb": round(base_sb / base_total, 4),
+                "other": round(base_other / base_total, 4),
+                "net": 1.0,
+            }
+    return emit("fig10_issue_stalls", payload)
+
+
+def test_fig10_issue_stalls(figure):
+    payload = figure(build_figure_10)
+    for sb in (14, 28):
+        ideal = payload[f"ALL/ideal/SB{sb}"]
+        spb = payload[f"ALL/spb/SB{sb}"]
+        base = payload[f"ALL/at-commit/SB{sb}"]
+        # The ideal SB has zero SB-induced issue stalls.
+        assert ideal["sb"] == 0.0
+        # SPB removes most of the SB component.
+        assert spb["sb"] < base["sb"] * 0.75
+        # Both achieve a net issue-stall reduction over at-commit.
+        assert spb["net"] < 1.0
+        assert ideal["net"] < 1.0

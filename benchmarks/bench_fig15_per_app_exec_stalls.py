@@ -1,0 +1,31 @@
+"""Figure 15 — per SB-bound app execution stalls with L1D misses pending.
+
+Paper: every SB-bound application except roms benefits from SPB; roms shows
+a conflict-miss pathology caused by the burst prefetches.
+"""
+
+from conftest import emit, spec_run
+from repro.workloads import SB_BOUND_SPEC
+
+
+def build_figure_15():
+    payload = {}
+    for sb in (14, 28, 56):
+        per_app = {}
+        for app in SB_BOUND_SPEC:
+            base = spec_run(app, "at-commit", sb).pipeline.exec_stall_l1d_pending
+            spb = spec_run(app, "spb", sb).pipeline.exec_stall_l1d_pending
+            per_app[app] = round(spb / base if base else 0.0, 4)
+        payload[f"SB{sb}"] = per_app
+    return emit("fig15_per_app_exec_stalls", payload)
+
+
+def test_fig15_per_app_exec_stalls(figure):
+    payload = figure(build_figure_15)
+    # At the smallest SB, the clear majority of SB-bound apps improve.
+    improved = sum(value < 1.0 for value in payload["SB14"].values())
+    assert improved >= 6
+    # No app regresses catastrophically at any size.
+    for sb_label, per_app in payload.items():
+        for app, value in per_app.items():
+            assert value < 1.30, (sb_label, app)

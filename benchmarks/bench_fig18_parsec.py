@@ -1,0 +1,50 @@
+"""Figure 18 — PARSEC with eight threads, normalised to the Ideal SB.
+
+Paper: SPB beats at-commit by ~1% at SB56 (1.1% on SB-bound) and by 18.5%
+on SB-bound applications at SB14 (4.3% on average); no benchmark regresses,
+showing SPB is coherence-friendly.
+"""
+
+from conftest import emit, geomean, parsec_groups, parsec_run
+
+
+def _perf(app, policy, sb):
+    ideal = parsec_run(app, "ideal", 1024)
+    return ideal.cycles / parsec_run(app, policy, sb).cycles
+
+
+def build_figure_18():
+    payload = {}
+    per_app = {}
+    for app in parsec_groups()["ALL"]:
+        per_app[app] = {
+            f"{policy}/SB{sb}": round(_perf(app, policy, sb), 4)
+            for policy in ("at-commit", "spb")
+            for sb in (56, 14)
+        }
+    payload["per_app"] = per_app
+    for label, apps in parsec_groups().items():
+        for policy in ("at-commit", "spb"):
+            for sb in (56, 14):
+                payload[f"{label}/{policy}/SB{sb}"] = round(
+                    geomean([per_app[app][f"{policy}/SB{sb}"] for app in apps]), 4
+                )
+    return emit("fig18_parsec", payload)
+
+
+def test_fig18_parsec(figure):
+    payload = figure(build_figure_18)
+    # SPB at least matches at-commit at both sizes, both groups.
+    for label in ("ALL", "SB-BOUND"):
+        assert payload[f"{label}/spb/SB56"] >= payload[f"{label}/at-commit/SB56"] - 0.01
+        assert payload[f"{label}/spb/SB14"] > payload[f"{label}/at-commit/SB14"]
+    # The SB14 gain is concentrated in the SB-bound group.
+    sb_bound_gain = (
+        payload["SB-BOUND/spb/SB14"] / payload["SB-BOUND/at-commit/SB14"]
+    )
+    all_gain = payload["ALL/spb/SB14"] / payload["ALL/at-commit/SB14"]
+    assert sb_bound_gain > all_gain
+    # No benchmark regresses under SPB (coherence-friendly, §VI-F).
+    for app, values in payload["per_app"].items():
+        assert values["spb/SB14"] >= values["at-commit/SB14"] - 0.02, app
+        assert values["spb/SB56"] >= values["at-commit/SB56"] - 0.02, app

@@ -1,0 +1,50 @@
+"""§IV-C — sensitivity of SPB to the window parameter N.
+
+Paper: optimal N is 48 for a 14-entry SB, 24 for 28 entries and 48 for 56
+entries; values between 24 and 48 all perform well, and N = 48 is used for
+the evaluation because the 28-entry results barely change across that range.
+"""
+
+from conftest import emit, geomean, perf_vs_ideal
+from repro.config.system import SpbConfig
+from repro.workloads import SB_BOUND_SPEC
+
+N_VALUES = (8, 16, 24, 32, 48, 64)
+
+
+def build_sensitivity():
+    payload = {}
+    for sb in (14, 28, 56):
+        for n in N_VALUES:
+            value = geomean(
+                [
+                    perf_vs_ideal(app, "spb", sb, spb=SpbConfig(check_interval=n))
+                    for app in SB_BOUND_SPEC
+                ]
+            )
+            payload[f"SB{sb}/N{n}"] = round(value, 4)
+    return emit("sens_n", payload)
+
+
+def test_sensitivity_to_n(figure):
+    payload = figure(build_sensitivity)
+    for sb in (14, 28, 56):
+        series = {n: payload[f"SB{sb}/N{n}"] for n in N_VALUES}
+        best = max(series.values())
+        # The paper's operational claim: N between 24 and 48 performs well
+        # (within a few percent of the best setting at every SB size).
+        # Known deviation: in this model smaller N is mildly better because
+        # false triggers are cheaper than on the paper's gem5 testbed, so
+        # the optimum sits at the low end instead of mid-range.
+        for n in (24, 32, 48):
+            assert series[n] > best - 0.05, (sb, n)
+    # The paper picked N=48 partly because the 28-entry SB results barely
+    # move between N=24 and N=48; that minimal variability must hold.
+    assert abs(payload["SB28/N24"] - payload["SB28/N48"]) < 0.02
+    # The chosen N=48 stays near-optimal as a single setting overall.
+    mean48 = geomean([payload[f"SB{sb}/N48"] for sb in (14, 28, 56)])
+    best_overall = max(
+        geomean([payload[f"SB{sb}/N{n}"] for sb in (14, 28, 56)])
+        for n in N_VALUES
+    )
+    assert mean48 > best_overall - 0.04

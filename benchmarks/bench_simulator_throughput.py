@@ -1,0 +1,43 @@
+"""Simulator micro-benchmarks: µops simulated per second.
+
+Unlike the figure benchmarks (one-shot, result-oriented), these measure the
+simulator itself over several rounds, so regressions in the hot paths (the
+pipeline cycle loop, the hierarchy, the SPB burst path) show up in CI-style
+comparisons of the pytest-benchmark tables.
+"""
+
+import pytest
+
+from repro import SystemConfig, simulate, spec2017
+
+LENGTH = 10_000
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        "compute": spec2017("exchange2", length=LENGTH),
+        "memory": spec2017("mcf", length=LENGTH),
+        "burst": spec2017("bwaves", length=LENGTH),
+    }
+
+
+def _simulate(trace, policy):
+    config = SystemConfig.skylake(sb_entries=14, store_prefetch=policy)
+    return simulate(trace, config)
+
+
+@pytest.mark.parametrize("kind", ["compute", "memory", "burst"])
+def test_throughput_at_commit(benchmark, traces, kind):
+    result = benchmark.pedantic(
+        _simulate, args=(traces[kind], "at-commit"), rounds=3, iterations=1
+    )
+    assert result.pipeline.committed_uops == LENGTH
+
+
+@pytest.mark.parametrize("kind", ["burst"])
+def test_throughput_spb(benchmark, traces, kind):
+    result = benchmark.pedantic(
+        _simulate, args=(traces[kind], "spb"), rounds=3, iterations=1
+    )
+    assert result.pipeline.committed_uops == LENGTH

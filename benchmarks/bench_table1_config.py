@@ -1,0 +1,71 @@
+"""Table I — the simulated system's configuration parameters.
+
+Regenerates the configuration table and asserts the encoded values match
+the paper (this is the one 'figure' that is pure configuration).
+"""
+
+from conftest import emit
+from repro.config import CacheHierarchyConfig, CoreConfig
+from repro.isa.uop import OP_LATENCIES, OpKind
+
+
+def build_table_1():
+    core = CoreConfig()
+    caches = CacheHierarchyConfig()
+    payload = {
+        "core/width": core.width,
+        "core/rob_entries": core.rob_entries,
+        "core/issue_queue": core.issue_queue_entries,
+        "core/load_queue": core.load_queue_entries,
+        "core/store_buffer": core.store_buffer_entries,
+        "core/int_registers": core.int_registers,
+        "core/fp_registers": core.fp_registers,
+        "core/frequency_ghz": core.frequency_ghz,
+        "lat/int_add": OP_LATENCIES[OpKind.INT_ALU],
+        "lat/int_mul": OP_LATENCIES[OpKind.INT_MUL],
+        "lat/int_div": OP_LATENCIES[OpKind.INT_DIV],
+        "lat/fp_add": OP_LATENCIES[OpKind.FP_ALU],
+        "lat/fp_div": OP_LATENCIES[OpKind.FP_DIV],
+        "l1d/size_kib": caches.l1d.size_bytes // 1024,
+        "l1d/ways": caches.l1d.associativity,
+        "l1d/latency": caches.l1d.latency,
+        "l2/size_kib": caches.l2.size_bytes // 1024,
+        "l2/ways": caches.l2.associativity,
+        "l2/latency": caches.l2.latency,
+        "l3/size_mib": caches.l3.size_bytes // (1024 * 1024),
+        "l3/ways": caches.l3.associativity,
+        "l3/latency": caches.l3.latency,
+        "mshr/entries": caches.l1d.mshr_entries,
+    }
+    return emit("table1_configuration", payload)
+
+
+def test_table1_configuration(figure):
+    payload = figure(build_table_1)
+    expected = {
+        "core/width": 4,
+        "core/rob_entries": 224,
+        "core/issue_queue": 97,
+        "core/load_queue": 72,
+        "core/store_buffer": 56,
+        "core/int_registers": 180,
+        "core/fp_registers": 180,
+        "core/frequency_ghz": 2.0,
+        "lat/int_add": 1,
+        "lat/int_mul": 4,
+        "lat/int_div": 22,
+        "lat/fp_add": 5,
+        "lat/fp_div": 22,
+        "l1d/size_kib": 32,
+        "l1d/ways": 8,
+        "l1d/latency": 4,
+        "l2/size_kib": 1024,
+        "l2/ways": 16,
+        "l2/latency": 14,
+        "l3/size_mib": 16,
+        "l3/ways": 16,
+        "l3/latency": 36,
+        "mshr/entries": 64,
+    }
+    for key, value in expected.items():
+        assert payload[key] == value, key

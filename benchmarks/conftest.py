@@ -1,0 +1,141 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every benchmark file regenerates one table or figure from the paper.  All
+files share one in-process results cache, so the at-commit/SB56 baseline and
+the Ideal reference are each simulated once per session and reused by every
+figure that normalises against them.
+
+Results are printed (run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them live) and written as JSON under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro import ResultsCache, SystemConfig, simulate_multicore, parsec, spec2017
+from repro.config.system import CachePrefetcherKind, SpbConfig, StorePrefetchPolicy
+from repro.sim.sweep import geomean
+from repro.workloads import SB_BOUND_PARSEC, SB_BOUND_SPEC, parsec_names, spec2017_names
+
+#: Trace lengths: long enough for warm pools to cycle, short enough that the
+#: whole figure suite finishes in minutes.
+SPEC_LENGTH = 30_000
+CLASSIFY_LENGTH = 50_000  # Figure 1 classification (matches calibration)
+PARSEC_LENGTH = 20_000  # long enough for low-weight burst phases to fire
+PARSEC_THREADS = 8
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_spec_cache = ResultsCache()
+_parsec_cache: dict[tuple, object] = {}
+
+
+def spec_run(
+    app: str,
+    policy: str,
+    sb: int,
+    *,
+    prefetcher: str = "stream",
+    preset: str | None = None,
+    spb: SpbConfig | None = None,
+    length: int = SPEC_LENGTH,
+):
+    """One cached single-core run."""
+    if preset is not None:
+        config = SystemConfig.preset(preset, store_prefetch=policy, sb_entries=sb)
+    else:
+        config = SystemConfig.skylake(sb_entries=sb, store_prefetch=policy)
+    config = replace(config, cache_prefetcher=CachePrefetcherKind(prefetcher))
+    if spb is not None:
+        config = replace(config, spb=spb)
+    return _spec_cache.get(spec2017, app, length, config)
+
+
+def ideal_run(app: str, *, prefetcher: str = "stream", preset: str | None = None,
+              length: int = SPEC_LENGTH):
+    """The Ideal (1024-entry, no-stall) reference for one app."""
+    return spec_run(app, "ideal", 1024, prefetcher=prefetcher, preset=preset,
+                    length=length)
+
+
+def parsec_run(app: str, policy: str, sb: int):
+    """One cached 8-core PARSEC run."""
+    key = (app, policy, sb, PARSEC_THREADS, PARSEC_LENGTH)
+    result = _parsec_cache.get(key)
+    if result is None:
+        traces = parsec(app, threads=PARSEC_THREADS, length=PARSEC_LENGTH)
+        config = SystemConfig.skylake(
+            sb_entries=sb, store_prefetch=policy, num_cores=PARSEC_THREADS
+        )
+        result = simulate_multicore(traces, config)
+        _parsec_cache[key] = result
+    return result
+
+
+def perf_vs_ideal(app: str, policy: str, sb: int, **kwargs) -> float:
+    """Figure 5/6 metric: performance normalised to the Ideal SB.
+
+    The Ideal reference never uses the SPB detector, so SPB parameter
+    overrides apply only to the measured run.
+    """
+    ideal_kwargs = {k: v for k, v in kwargs.items() if k != "spb"}
+    ideal = ideal_run(app, **ideal_kwargs)
+    run = spec_run(app, policy, sb, **kwargs)
+    return ideal.cycles / run.cycles
+
+
+def spec_groups() -> dict[str, list[str]]:
+    return {"ALL": spec2017_names(), "SB-BOUND": list(SB_BOUND_SPEC)}
+
+
+def parsec_groups() -> dict[str, list[str]]:
+    return {"ALL": parsec_names(), "SB-BOUND": list(SB_BOUND_PARSEC)}
+
+
+def emit(name: str, payload: dict) -> dict:
+    """Print a figure's data and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\n=== {name} ===")
+    for key, value in payload.items():
+        print(f"{key}: {value}")
+    return payload
+
+
+def run_once(benchmark, func):
+    """Benchmark a figure builder exactly once (simulations memoise)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def figure(benchmark):
+    """Fixture: run the figure builder once under the benchmark timer."""
+
+    def runner(func):
+        return run_once(benchmark, func)
+
+    return runner
+
+
+__all__ = [
+    "SPEC_LENGTH",
+    "CLASSIFY_LENGTH",
+    "PARSEC_LENGTH",
+    "PARSEC_THREADS",
+    "spec_run",
+    "ideal_run",
+    "parsec_run",
+    "perf_vs_ideal",
+    "spec_groups",
+    "parsec_groups",
+    "geomean",
+    "emit",
+    "run_once",
+]

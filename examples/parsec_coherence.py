@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Multi-threaded run: SPB on an 8-core coherent system (paper §VI-F).
+
+Runs one PARSEC-like application on eight cores sharing an inclusive L3
+with a full-map MESI directory, and reports per-policy performance plus the
+coherence traffic SPB's bursts generate — showing the paper's point that
+SPB does not introduce negative coherence effects (bursts target private
+data-movement buffers, not contended blocks).
+
+Usage::
+
+    python examples/parsec_coherence.py [app] [threads]
+"""
+
+import sys
+
+from repro import SystemConfig, parsec, simulate_multicore
+from repro.multicore.system import MulticoreSystem
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "dedup"
+    threads = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    traces = parsec(app, threads=threads, length=20_000)
+    print(f"workload: {app} × {threads} threads\n")
+
+    results = {}
+    for sb in (56, 14):
+        for policy in ("at-commit", "spb"):
+            config = SystemConfig.skylake(
+                sb_entries=sb, store_prefetch=policy, num_cores=threads
+            )
+            system = MulticoreSystem(config, traces)
+            results[(policy, sb)] = (system.run(), system.uncore.directory.stats)
+
+    print(f"{'policy':>10} {'SB':>4} {'cycles':>9} {'sys IPC':>8} "
+          f"{'invalidations':>14} {'pf-GetX':>8}")
+    for sb in (56, 14):
+        for policy in ("at-commit", "spb"):
+            run, dir_stats = results[(policy, sb)]
+            print(
+                f"{policy:>10} {sb:>4} {run.cycles:>9} {run.system_ipc:>8.2f} "
+                f"{dir_stats.invalidations_sent:>14} "
+                f"{dir_stats.prefetch_getx_requests:>8}"
+            )
+        print()
+
+    base, _ = results[("at-commit", 14)]
+    spb, _ = results[("spb", 14)]
+    print(f"SPB speedup over at-commit at SB14: "
+          f"{base.cycles / spb.cycles - 1:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — reproduction of "Boosting Store Buffer Efficiency with
+Store-Prefetch Bursts" (Cebrián, Kaxiras, Ros — MICRO 2020).
+
+Public API
+----------
+
+>>> from repro import SystemConfig, simulate, spec2017
+>>> config = SystemConfig.skylake(sb_entries=14, store_prefetch="spb")
+>>> result = simulate(spec2017("bwaves", length=50_000), config)
+>>> result.ipc  # doctest: +SKIP
+
+The package layers the paper's contribution (``repro.core``: the store
+buffer, store-prefetch policies and the SPB detector) on top of from-scratch
+substrates: an out-of-order core model (``repro.cpu``), a MESI-coherent
+cache hierarchy (``repro.memory``), generic cache prefetchers
+(``repro.prefetch``), synthetic SPEC/PARSEC-like workloads
+(``repro.workloads``), an energy model (``repro.energy``) and a multi-core
+system (``repro.multicore``).
+"""
+
+from repro.config import (
+    CacheConfig,
+    CacheHierarchyConfig,
+    CachePrefetcherKind,
+    CoreConfig,
+    SpbConfig,
+    StorePrefetchPolicy,
+    SystemConfig,
+    core_preset,
+)
+from repro.cpu.smt import simulate_smt
+from repro.sim import ResultsCache, simulate, simulate_multicore
+from repro.stats import SimResult
+from repro.workloads import parsec, spec2017
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchyConfig",
+    "CachePrefetcherKind",
+    "CoreConfig",
+    "SpbConfig",
+    "StorePrefetchPolicy",
+    "SystemConfig",
+    "core_preset",
+    "ResultsCache",
+    "simulate",
+    "simulate_multicore",
+    "simulate_smt",
+    "SimResult",
+    "parsec",
+    "spec2017",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Result analysis and presentation helpers used by benchmarks and the CLI."""
+
+from repro.analysis.tables import (
+    ascii_bar_chart,
+    format_table,
+    markdown_table,
+    normalize_series,
+)
+from repro.analysis.report import compile_report
+
+__all__ = [
+    "ascii_bar_chart",
+    "format_table",
+    "markdown_table",
+    "normalize_series",
+    "compile_report",
+]

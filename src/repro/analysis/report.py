@@ -1,0 +1,98 @@
+"""Compile the per-figure JSON outputs into one markdown report.
+
+After ``pytest benchmarks/ --benchmark-only`` has populated
+``benchmarks/results/``, this module (also reachable as
+``python -m repro report``) renders every figure's data as a markdown
+section, giving a single reviewable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+from repro.analysis.tables import markdown_table
+
+#: Figure titles, in the paper's order.
+_TITLES = {
+    "table1_configuration": "Table I — simulated system configuration",
+    "fig01_sb_stall_ratio": "Figure 1 — SB-induced stall ratio vs SB size",
+    "fig03_stall_locations": "Figure 3 — location of stall-causing stores",
+    "fig05_normalized_performance": "Figure 5 — performance vs Ideal SB",
+    "fig06_per_app_performance": "Figure 6 — per-app SB-bound performance",
+    "fig07_energy": "Figure 7 — energy normalised to at-commit",
+    "fig08_sb_stalls": "Figure 8 — SB stalls normalised to at-commit",
+    "fig09_per_app_sb_stalls": "Figure 9 — per-app SB stalls",
+    "fig10_issue_stalls": "Figure 10 — issue-stall breakdown",
+    "fig11_prefetch_accuracy": "Figure 11 — store-prefetch outcomes",
+    "fig12_prefetch_traffic": "Figure 12 — prefetch traffic",
+    "fig13_l1_tag_overhead": "Figure 13 — L1D tag-access overhead",
+    "fig14_exec_stalls_l1d_pending": "Figure 14 — exec stalls w/ L1D miss pending",
+    "fig15_per_app_exec_stalls": "Figure 15 — per-app exec stalls",
+    "fig16_aggressive_prefetchers": "Figure 16 — SPB + aggressive prefetchers",
+    "fig17_core_configs": "Figure 17 — core configurations (Table II)",
+    "fig18_parsec": "Figure 18 — PARSEC, 8 threads",
+    "sens_n": "Sensitivity — SPB window parameter N (§IV-C)",
+    "ablations": "Ablations — SPB variants and the SB20 claim",
+}
+
+
+def _render_section(name: str, payload: Mapping) -> str:
+    title = _TITLES.get(name, name)
+    lines = [f"## {title}", ""]
+    flat_rows = []
+    for key in sorted(payload):
+        value = payload[key]
+        if isinstance(value, dict):
+            lines.append(f"### {key}")
+            lines.append("")
+            sub_rows = [
+                (sub_key, _fmt(sub_value))
+                for sub_key, sub_value in sorted(value.items())
+            ]
+            lines.append(markdown_table(("key", "value"), sub_rows))
+            lines.append("")
+        else:
+            flat_rows.append((key, _fmt(value)))
+    if flat_rows:
+        lines.insert(2, markdown_table(("series", "value"), flat_rows) + "\n")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if isinstance(value, dict):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+def compile_report(results_dir: str, output_path: str | None = None) -> str:
+    """Render every ``<name>.json`` under ``results_dir`` into markdown.
+
+    Returns the markdown text; also writes it to ``output_path`` if given.
+    """
+    if not os.path.isdir(results_dir):
+        raise FileNotFoundError(
+            f"{results_dir} does not exist — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    sections = ["# SPB reproduction — measured figures", ""]
+    names = sorted(
+        os.path.splitext(entry)[0]
+        for entry in os.listdir(results_dir)
+        if entry.endswith(".json")
+    )
+    ordered = [name for name in _TITLES if name in names]
+    ordered += [name for name in names if name not in _TITLES]
+    for name in ordered:
+        with open(os.path.join(results_dir, f"{name}.json")) as handle:
+            payload = json.load(handle)
+        sections.append(_render_section(name, payload))
+        sections.append("")
+    text = "\n".join(sections)
+    if output_path is not None:
+        with open(output_path, "w") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,92 @@
+"""Plain-text table and chart rendering for simulation results.
+
+Everything here is dependency-free formatting: the benchmarks and the CLI
+use it to present the per-figure series the paper plots, without any
+plotting library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_digits: int = 4,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered_rows = [
+        [_cell(value, float_digits) for value in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_digits: int = 4,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        cells = [_cell(value, float_digits) for value in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    series: Mapping[str, float],
+    width: int = 50,
+    reference: float | None = None,
+) -> str:
+    """Horizontal ASCII bars, one per labelled value.
+
+    ``reference`` draws a marker column (e.g. the 1.0 line the paper's
+    normalised figures are read against).
+    """
+    if not series:
+        return "(empty)"
+    peak = max(max(series.values()), reference or 0.0) or 1.0
+    label_width = max(len(label) for label in series)
+    lines = []
+    for label, value in series.items():
+        bar_len = max(0, round(value / peak * width))
+        bar = "#" * bar_len
+        if reference is not None:
+            ref_pos = round(reference / peak * width)
+            if 0 <= ref_pos <= width:
+                padded = list(bar.ljust(width))
+                padded[min(ref_pos, width - 1)] = "|"
+                bar = "".join(padded).rstrip()
+        lines.append(f"{label.rjust(label_width)}  {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def normalize_series(
+    series: Mapping[str, float], baseline_key: str
+) -> dict[str, float]:
+    """Divide every value by the baseline entry (the paper's normalisation)."""
+    baseline = series[baseline_key]
+    if not baseline:
+        raise ValueError(f"baseline {baseline_key!r} is zero")
+    return {key: value / baseline for key, value in series.items()}
+
+
+def _cell(value: object, float_digits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``        simulate one workload under one configuration
+``compare``    run all store-prefetch policies on one workload, side by side
+``workloads``  list the modelled SPEC/PARSEC applications
+``report``     compile benchmarks/results/*.json into a markdown report
+``trace``      generate a workload trace and save it to a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import SystemConfig, simulate, spec2017
+from repro.analysis.report import compile_report
+from repro.analysis.tables import ascii_bar_chart, format_table
+from repro.config.system import StorePrefetchPolicy
+from repro.isa.serialize import load_trace, save_trace
+from repro.workloads import parsec_names, spec2017_names
+from repro.workloads.parsec import PARSEC_APPS
+from repro.workloads.spec import SPEC_APPS
+
+
+def _build_trace(args):
+    if getattr(args, "trace_file", None):
+        return load_trace(args.trace_file)
+    return spec2017(args.app, length=args.length, seed=args.seed)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", help="SPEC-2017-like application name")
+    parser.add_argument("--length", type=int, default=40_000,
+                        help="trace length in micro-ops")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--trace-file", help="load a saved trace instead")
+
+
+def _cmd_run(args) -> int:
+    config = SystemConfig.skylake(
+        sb_entries=args.sb, store_prefetch=args.policy,
+        cache_prefetcher=args.prefetcher,
+    )
+    result = simulate(_build_trace(args), config)
+    rows = sorted(result.summary().items())
+    print(format_table(("metric", "value"), rows))
+    if result.detector_stats is not None:
+        d = result.detector_stats
+        print(f"\nSPB: {d.bursts_triggered}/{d.windows_checked} windows "
+              f"triggered bursts over {d.stores_observed} stores")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace = _build_trace(args)
+    results = {}
+    for policy in StorePrefetchPolicy:
+        entries = 1024 if policy == StorePrefetchPolicy.IDEAL else args.sb
+        config = SystemConfig.skylake(sb_entries=entries, store_prefetch=policy)
+        results[policy.value] = simulate(trace, config)
+    ideal_cycles = results["ideal"].cycles
+    rows = [
+        (
+            name,
+            result.cycles,
+            round(result.ipc, 3),
+            f"{result.sb_stall_ratio:.1%}",
+            f"{ideal_cycles / result.cycles:.1%}",
+        )
+        for name, result in results.items()
+    ]
+    print(f"workload: {trace.name} ({len(trace)} µops), SB = {args.sb} entries\n")
+    print(format_table(("policy", "cycles", "IPC", "SB-stall", "vs ideal"), rows))
+    print()
+    print(ascii_bar_chart(
+        {name: ideal_cycles / result.cycles for name, result in results.items()},
+        reference=1.0,
+    ))
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    spec_rows = [
+        (name, "yes" if name in spec2017_names(True) else "",
+         SPEC_APPS[name].description)
+        for name in spec2017_names()
+    ]
+    print("SPEC CPU 2017-like applications:")
+    print(format_table(("name", "SB-bound", "description"), spec_rows))
+    parsec_rows = [
+        (name, "yes" if name in parsec_names(True) else "",
+         PARSEC_APPS[name].description)
+        for name in parsec_names()
+    ]
+    print("\nPARSEC-like applications (multi-threaded):")
+    print(format_table(("name", "SB-bound", "description"), parsec_rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    text = compile_report(args.results_dir, args.output)
+    if args.output:
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    trace = spec2017(args.app, length=args.length, seed=args.seed)
+    save_trace(trace, args.output)
+    stats = trace.stats()
+    print(f"wrote {len(trace)} µops to {args.output} "
+          f"({stats.stores} stores, {stats.loads} loads)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPB reproduction — simulate store-prefetch policies",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload/configuration")
+    _add_workload_args(run)
+    run.add_argument("--policy", default="at-commit",
+                     choices=[p.value for p in StorePrefetchPolicy])
+    run.add_argument("--sb", type=int, default=56, help="store-buffer entries")
+    run.add_argument("--prefetcher", default="stream",
+                     choices=("none", "stream", "aggressive", "adaptive"))
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare", help="compare all policies")
+    _add_workload_args(compare)
+    compare.add_argument("--sb", type=int, default=14)
+    compare.set_defaults(func=_cmd_compare)
+
+    workloads = sub.add_parser("workloads", help="list modelled applications")
+    workloads.set_defaults(func=_cmd_workloads)
+
+    report = sub.add_parser("report", help="compile figure JSONs to markdown")
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--output", help="write markdown here instead of stdout")
+    report.set_defaults(func=_cmd_report)
+
+    trace = sub.add_parser("trace", help="generate and save a trace")
+    trace.add_argument("app")
+    trace.add_argument("output", help="output path (.jsonl or .jsonl.gz)")
+    trace.add_argument("--length", type=int, default=40_000)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Configuration presets for the simulated systems.
+
+The geometry in this package mirrors the paper's Table I (the Skylake-X-like
+baseline) and Table II (the core-aggressiveness sensitivity presets:
+Silvermont, Nehalem, Haswell, Skylake and Sunny Cove).
+"""
+
+from repro.config.cache import CacheConfig, CacheHierarchyConfig
+from repro.config.core import CoreConfig, CORE_PRESETS, core_preset
+from repro.config.system import (
+    StorePrefetchPolicy,
+    CachePrefetcherKind,
+    SpbConfig,
+    SystemConfig,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchyConfig",
+    "CoreConfig",
+    "CORE_PRESETS",
+    "core_preset",
+    "StorePrefetchPolicy",
+    "CachePrefetcherKind",
+    "SpbConfig",
+    "SystemConfig",
+]

@@ -1,0 +1,29 @@
+"""The paper's contribution: the TSO store buffer, store-prefetch policies
+and the Store-Prefetch Burst (SPB) detector."""
+
+from repro.core.store_buffer import StoreBuffer, StoreBufferEntry, StoreBufferStats
+from repro.core.spb import SpbDetector, SpbStats
+from repro.core.policies import (
+    StorePrefetchEngine,
+    NoStorePrefetch,
+    AtExecutePrefetch,
+    AtCommitPrefetch,
+    SpbPrefetch,
+    IdealStorePrefetch,
+    build_store_prefetch_engine,
+)
+
+__all__ = [
+    "StoreBuffer",
+    "StoreBufferEntry",
+    "StoreBufferStats",
+    "SpbDetector",
+    "SpbStats",
+    "StorePrefetchEngine",
+    "NoStorePrefetch",
+    "AtExecutePrefetch",
+    "AtCommitPrefetch",
+    "SpbPrefetch",
+    "IdealStorePrefetch",
+    "build_store_prefetch_engine",
+]

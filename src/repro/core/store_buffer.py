@@ -1,0 +1,153 @@
+"""The TSO store buffer.
+
+Stores enter at commit (in program order) and drain to the L1 strictly in
+order — x86-TSO's store→store ordering.  The head entry performs only when
+the L1 holds its block with write permission; until then the whole buffer
+waits, which is exactly the serialisation the paper attacks.  Every load
+CAM-searches the buffer for store-to-load forwarding, which is why real SB
+sizes are bounded (the paper's motivation for SPB over ever-larger SBs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StoreBufferEntry:
+    """One committed-but-not-performed store."""
+
+    block: int
+    addr: int
+    size: int
+    pc: int
+    commit_cycle: int
+
+
+@dataclass
+class StoreBufferStats:
+    """Occupancy and CAM-activity counters."""
+
+    pushes: int = 0
+    drains: int = 0
+    coalesced: int = 0
+    cam_searches: int = 0
+    forwarding_hits: int = 0
+    full_events: int = 0
+    occupancy_integral: int = 0  # sum of occupancy over sampled cycles
+    occupancy_samples: int = 0
+    max_occupancy: int = 0
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.occupancy_samples:
+            return 0.0
+        return self.occupancy_integral / self.occupancy_samples
+
+
+class StoreBuffer:
+    """FIFO store buffer with CAM search, statically partitioned under SMT.
+
+    With ``coalescing`` enabled, a store to the same block as the current
+    tail entry merges into it instead of taking a new entry.  Merging only
+    with the youngest entry never reorders stores to different blocks, so
+    TSO's store→store order is preserved — the non-speculative coalescing
+    idea of Ros & Kaxiras (ISCA 2018) that the paper's related work
+    discusses as the alternative way to stretch SB capacity.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        unbounded: bool = False,
+        coalescing: bool = False,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("store buffer needs at least one entry")
+        self.capacity = capacity
+        self.unbounded = unbounded
+        self.coalescing = coalescing
+        self._entries: deque[StoreBufferEntry] = deque()
+        self._blocks: dict[int, int] = {}  # block -> number of buffered stores
+        self.stats = StoreBufferStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        if self.unbounded:
+            return False
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def push(self, entry: StoreBufferEntry) -> bool:
+        """Insert a committed store at the tail.  Caller checks ``is_full``.
+
+        Returns True when the store coalesced into the existing tail entry
+        (no new entry was consumed).
+        """
+        if (
+            self.coalescing
+            and self._entries
+            and self._entries[-1].block == entry.block
+        ):
+            self.stats.coalesced += 1
+            self.stats.pushes += 1
+            return True
+        if self.is_full:
+            self.stats.full_events += 1
+            raise OverflowError("store buffer full")
+        self._entries.append(entry)
+        self._blocks[entry.block] = self._blocks.get(entry.block, 0) + 1
+        self.stats.pushes += 1
+        if len(self._entries) > self.stats.max_occupancy:
+            self.stats.max_occupancy = len(self._entries)
+        return False
+
+    def head(self) -> StoreBufferEntry | None:
+        return self._entries[0] if self._entries else None
+
+    def pop(self) -> StoreBufferEntry:
+        """Drain the head store (it has performed in L1)."""
+        if not self._entries:
+            raise IndexError("store buffer empty")
+        entry = self._entries.popleft()
+        remaining = self._blocks[entry.block] - 1
+        if remaining:
+            self._blocks[entry.block] = remaining
+        else:
+            del self._blocks[entry.block]
+        self.stats.drains += 1
+        return entry
+
+    def forwards(self, block: int) -> bool:
+        """CAM search on behalf of a load; True when a buffered store matches.
+
+        The model forwards at block granularity (a matching store means the
+        load can take its data from the SB without an L1 access).
+        """
+        self.stats.cam_searches += 1
+        hit = block in self._blocks
+        if hit:
+            self.stats.forwarding_hits += 1
+        return hit
+
+    def buffered_blocks(self) -> list[int]:
+        """Distinct blocks currently buffered, oldest first."""
+        seen: set[int] = set()
+        ordered = []
+        for entry in self._entries:
+            if entry.block not in seen:
+                seen.add(entry.block)
+                ordered.append(entry.block)
+        return ordered
+
+    def sample_occupancy(self, weight: int = 1) -> None:
+        """Accumulate occupancy statistics (weight = cycles represented)."""
+        self.stats.occupancy_integral += len(self._entries) * weight
+        self.stats.occupancy_samples += weight

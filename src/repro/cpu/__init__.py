@@ -1,0 +1,25 @@
+"""Cycle-driven out-of-order core model."""
+
+from repro.cpu.branch import (
+    BimodalPredictor,
+    BranchPredictor,
+    GsharePredictor,
+    TagePredictor,
+    TraceAnnotatedPredictor,
+    build_branch_predictor,
+)
+from repro.cpu.pipeline import Pipeline
+from repro.cpu.smt import SmtCore, SmtResult, simulate_smt
+
+__all__ = [
+    "Pipeline",
+    "SmtCore",
+    "SmtResult",
+    "simulate_smt",
+    "BranchPredictor",
+    "TraceAnnotatedPredictor",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "TagePredictor",
+    "build_branch_predictor",
+]

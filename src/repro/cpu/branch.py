@@ -1,0 +1,223 @@
+"""Branch direction predictors (Table I: L-TAGE, 64 KB).
+
+Three models with increasing fidelity:
+
+* :class:`TraceAnnotatedPredictor` — the default: the workload generator
+  pre-annotates which dynamic branches mispredict (a fixed per-site rate),
+  so the predictor just reads the annotation.  This is what the calibrated
+  workloads use.
+* :class:`GsharePredictor` — global history XORed into a table of 2-bit
+  counters; the classic baseline.
+* :class:`TagePredictor` — a compact TAGE: a bimodal base plus tagged
+  tables with geometrically growing history lengths, usefulness counters
+  and the standard provider/alternate update rule.  This is the shape of
+  the paper's L-TAGE without the loop predictor.
+
+All predictors share one interface: ``predict(pc) -> bool`` followed by
+``update(pc, taken)`` at resolve time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BranchPredictorStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.mispredict_rate
+
+
+class BranchPredictor:
+    """Predict-then-update interface."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.stats = BranchPredictorStats()
+
+    def predict(self, pc: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        raise NotImplementedError
+
+    def record(self, predicted: bool, taken: bool) -> bool:
+        """Book-keeping helper: returns True on a mispredict."""
+        self.stats.predictions += 1
+        wrong = predicted != taken
+        if wrong:
+            self.stats.mispredictions += 1
+        return wrong
+
+
+class TraceAnnotatedPredictor(BranchPredictor):
+    """Reads the trace's pre-annotated mispredict flags (default mode)."""
+
+    name = "trace"
+
+    def predict(self, pc: int) -> bool:  # direction is irrelevant here
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-PC 2-bit saturating counters."""
+
+    name = "bimodal"
+
+    def __init__(self, entries: int = 4096) -> None:
+        super().__init__()
+        self._mask = entries - 1
+        self._counters = [2] * entries  # weakly taken
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[pc & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = pc & self._mask
+        value = self._counters[index]
+        self._counters[index] = min(3, value + 1) if taken else max(0, value - 1)
+
+
+class GsharePredictor(BranchPredictor):
+    """Global-history predictor: history XOR pc indexes 2-bit counters."""
+
+    name = "gshare"
+
+    def __init__(self, entries: int = 16384, history_bits: int = 12) -> None:
+        super().__init__()
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._counters = [2] * entries
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        value = self._counters[index]
+        self._counters[index] = min(3, value + 1) if taken else max(0, value - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class _TageEntry:
+    __slots__ = ("tag", "counter", "useful")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.counter = 0  # signed: >=0 predicts taken
+        self.useful = 0
+
+
+class TagePredictor(BranchPredictor):
+    """Compact TAGE with a bimodal base and tagged history tables."""
+
+    name = "tage"
+
+    def __init__(
+        self,
+        table_entries: int = 1024,
+        history_lengths: tuple[int, ...] = (4, 8, 16, 32),
+        tag_bits: int = 10,
+    ) -> None:
+        super().__init__()
+        self.base = BimodalPredictor()
+        self.history_lengths = history_lengths
+        self._tables = [
+            [_TageEntry() for _ in range(table_entries)]
+            for _ in history_lengths
+        ]
+        self._entry_mask = table_entries - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._history = 0
+        self._last_provider: int | None = None
+        self._last_index = 0
+
+    def _fold(self, length: int) -> int:
+        history = self._history & ((1 << length) - 1)
+        folded = 0
+        while history:
+            folded ^= history & 0xFFFF
+            history >>= 16
+        return folded
+
+    def _lookup(self, pc: int) -> tuple[int | None, int, bool]:
+        """Longest-history matching table; returns (table, index, taken)."""
+        for table_id in range(len(self._tables) - 1, -1, -1):
+            folded = self._fold(self.history_lengths[table_id])
+            index = (pc ^ folded ^ (folded << 2)) & self._entry_mask
+            tag = (pc ^ (folded << 1)) & self._tag_mask
+            entry = self._tables[table_id][index]
+            if entry.tag == tag:
+                return table_id, index, entry.counter >= 0
+        return None, 0, self.base.predict(pc)
+
+    def predict(self, pc: int) -> bool:
+        table_id, index, taken = self._lookup(pc)
+        self._last_provider = table_id
+        self._last_index = index
+        return taken
+
+    def update(self, pc: int, taken: bool) -> None:
+        provider = self._last_provider
+        if provider is not None:
+            entry = self._tables[provider][self._last_index]
+            predicted = entry.counter >= 0
+            entry.counter = max(-4, min(3, entry.counter + (1 if taken else -1)))
+            if predicted == taken:
+                entry.useful = min(3, entry.useful + 1)
+            else:
+                entry.useful = max(0, entry.useful - 1)
+                self._allocate(pc, taken, above=provider)
+        else:
+            predicted = self.base.predict(pc)
+            if predicted != taken:
+                self._allocate(pc, taken, above=-1)
+        self.base.update(pc, taken)
+        self._history = (self._history << 1) | int(taken)
+
+    def _allocate(self, pc: int, taken: bool, above: int) -> None:
+        """On a mispredict, claim an entry in a longer-history table."""
+        for table_id in range(above + 1, len(self._tables)):
+            folded = self._fold(self.history_lengths[table_id])
+            index = (pc ^ folded ^ (folded << 2)) & self._entry_mask
+            entry = self._tables[table_id][index]
+            if entry.useful == 0:
+                entry.tag = (pc ^ (folded << 1)) & self._tag_mask
+                entry.counter = 0 if taken else -1
+                entry.useful = 0
+                return
+            entry.useful -= 1  # age the occupant
+
+
+_PREDICTORS = {
+    cls.name: cls
+    for cls in (TraceAnnotatedPredictor, BimodalPredictor, GsharePredictor,
+                TagePredictor)
+}
+
+
+def build_branch_predictor(name: str) -> BranchPredictor:
+    """Instantiate a predictor by name (trace, bimodal, gshare, tage)."""
+    try:
+        return _PREDICTORS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_PREDICTORS))
+        raise ValueError(f"unknown branch predictor {name!r}; known: {known}")

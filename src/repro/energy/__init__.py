@@ -1,0 +1,5 @@
+"""McPAT-style energy accounting."""
+
+from repro.energy.model import EnergyModel, EnergyBreakdown, ENERGY_PARAMS_22NM
+
+__all__ = ["EnergyModel", "EnergyBreakdown", "ENERGY_PARAMS_22NM"]

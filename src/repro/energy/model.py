@@ -1,0 +1,125 @@
+"""Analytic energy model standing in for McPAT (paper §V).
+
+The paper evaluates energy with McPAT at 22 nm, 0.6 V, default clock gating,
+with the Xi et al. accuracy fixes, and explicitly models the extra L1
+accesses and prefetch requests SPB generates.  We keep McPAT's *structure* —
+per-access dynamic energy for each cache level, per-µop core dynamic energy,
+and leakage power integrated over the run time — with constants of the right
+relative magnitude (nJ-scale cache accesses, pJ-scale core ops).  Energy
+comparisons between policies (Figure 7) depend only on activity counts and
+run time, both of which come straight from the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.result import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies (nJ) and leakage power (W)."""
+
+    l1_tag_access_nj: float
+    l1_data_access_nj: float
+    l2_access_nj: float
+    l3_access_nj: float
+    dram_access_nj: float
+    core_uop_nj: float
+    wrong_path_uop_nj: float
+    sb_cam_search_nj: float
+    spb_detector_nj: float
+    leakage_w: float
+    frequency_ghz: float = 2.0
+
+
+#: 22 nm-flavoured constants (magnitudes follow CACTI/McPAT-class models).
+ENERGY_PARAMS_22NM = EnergyParams(
+    l1_tag_access_nj=0.005,
+    l1_data_access_nj=0.020,
+    l2_access_nj=0.120,
+    l3_access_nj=0.450,
+    dram_access_nj=12.0,
+    core_uop_nj=0.080,
+    wrong_path_uop_nj=0.080,
+    sb_cam_search_nj=0.004,
+    spb_detector_nj=0.0002,
+    leakage_w=1.2,
+)
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules spent in one run, split the way Figure 7 splits them."""
+
+    cache_dynamic_j: float
+    core_dynamic_j: float
+    static_j: float
+
+    @property
+    def dynamic_j(self) -> float:
+        """Total dynamic energy (cache + core), joules."""
+        return self.cache_dynamic_j + self.core_dynamic_j
+
+    @property
+    def total_j(self) -> float:
+        """Dynamic plus static energy, joules."""
+        return self.dynamic_j + self.static_j
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict[str, float]:
+        """The three normalised bars of Figure 7."""
+        return {
+            "cache_dynamic": _ratio(self.cache_dynamic_j, baseline.cache_dynamic_j),
+            "core_dynamic": _ratio(self.core_dynamic_j, baseline.core_dynamic_j),
+            "total": _ratio(self.total_j, baseline.total_j),
+        }
+
+
+def _ratio(value: float, base: float) -> float:
+    return value / base if base else 0.0
+
+
+class EnergyModel:
+    """Maps a :class:`SimResult`'s activity counters to joules."""
+
+    def __init__(self, params: EnergyParams = ENERGY_PARAMS_22NM) -> None:
+        self.params = params
+
+    def evaluate(self, result: SimResult) -> EnergyBreakdown:
+        """Convert one run's activity counters into an energy breakdown."""
+        p = self.params
+        l1 = result.l1_stats
+        l2 = result.l2_stats
+        l3 = result.l3_stats
+        traffic = result.traffic
+        pipe = result.pipeline
+        cache_dynamic = (
+            l1.tag_accesses * p.l1_tag_access_nj
+            + (l1.hits + l1.insertions) * p.l1_data_access_nj
+            + (l2.tag_accesses + l2.insertions) * p.l2_access_nj
+            + (l3.tag_accesses + l3.insertions) * p.l3_access_nj
+            + traffic.writebacks * p.l2_access_nj
+        )
+        dram_accesses = l3.misses
+        cache_dynamic += dram_accesses * p.dram_access_nj
+        sb = result.sb_stats
+        cam_searches = sb.cam_searches if sb is not None else 0
+        detector_events = (
+            result.detector_stats.stores_observed
+            if result.detector_stats is not None
+            else 0
+        )
+        core_dynamic = (
+            pipe.committed_uops * p.core_uop_nj
+            + pipe.wrong_path_uops * p.wrong_path_uop_nj
+            + cam_searches * p.sb_cam_search_nj
+            + detector_events * p.spb_detector_nj
+        )
+        seconds = pipe.cycles / (p.frequency_ghz * 1e9)
+        static = p.leakage_w * seconds
+        return EnergyBreakdown(
+            cache_dynamic_j=cache_dynamic * 1e-9,
+            core_dynamic_j=core_dynamic * 1e-9,
+            static_j=static,
+        )

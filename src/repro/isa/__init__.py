@@ -1,0 +1,15 @@
+"""Micro-op and trace model: the instruction stream the core consumes."""
+
+from repro.isa.uop import MicroOp, OpKind, OP_LATENCIES
+from repro.isa.trace import Trace, TraceStats
+from repro.isa.serialize import load_trace, save_trace
+
+__all__ = [
+    "MicroOp",
+    "OpKind",
+    "OP_LATENCIES",
+    "Trace",
+    "TraceStats",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,64 @@
+"""Trace serialisation: save and load traces as gzipped JSON-lines.
+
+The format is line-oriented so multi-million-µop traces stream without
+building intermediate structures: a header line with the trace name and
+PC-region map, then one compact line per µop.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import IO, Iterator
+
+from repro.isa.trace import Trace
+from repro.isa.uop import MicroOp, OpKind
+
+_FORMAT_VERSION = 1
+
+
+def _open(path: str, mode: str) -> IO:
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace to ``path`` (gzipped when the name ends in .gz)."""
+    with _open(path, "w") as handle:
+        header = {
+            "version": _FORMAT_VERSION,
+            "name": trace.name,
+            "regions": {str(pc): region for pc, region in trace.regions.items()},
+        }
+        handle.write(json.dumps(header) + "\n")
+        for op in trace:
+            record = [int(op.kind), op.pc, op.addr, op.size, op.dep_distance,
+                      int(op.mispredicted)]
+            handle.write(json.dumps(record) + "\n")
+
+
+def _decode_ops(handle) -> Iterator[MicroOp]:
+    for line in handle:
+        kind, pc, addr, size, dep, mispredicted = json.loads(line)
+        yield MicroOp(
+            OpKind(kind),
+            pc=pc,
+            addr=addr,
+            size=size,
+            dep_distance=dep,
+            mispredicted=bool(mispredicted),
+        )
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with _open(path, "r") as handle:
+        header = json.loads(handle.readline())
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version: {header.get('version')!r}"
+            )
+        regions = {int(pc): region for pc, region in header["regions"].items()}
+        ops = list(_decode_ops(handle))
+    return Trace(ops, name=header["name"], regions=regions)

@@ -1,0 +1,52 @@
+"""Address arithmetic helpers shared across the memory subsystem."""
+
+from __future__ import annotations
+
+BLOCK_BYTES = 64
+PAGE_BYTES = 4096
+
+
+def block_of(addr: int, block_bytes: int = BLOCK_BYTES) -> int:
+    """Block number containing ``addr`` (drops the offset bits)."""
+    return addr // block_bytes
+
+
+def page_of(addr: int, page_bytes: int = PAGE_BYTES) -> int:
+    """Page number containing ``addr``."""
+    return addr // page_bytes
+
+
+def block_addr(block: int, block_bytes: int = BLOCK_BYTES) -> int:
+    """First byte address of ``block``."""
+    return block * block_bytes
+
+
+def blocks_remaining_in_page(
+    addr: int,
+    block_bytes: int = BLOCK_BYTES,
+    page_bytes: int = PAGE_BYTES,
+) -> list[int]:
+    """Blocks after ``addr``'s block up to the end of its page.
+
+    This is exactly the set an SPB burst requests: the prefetch stops at the
+    page boundary because consecutive virtual pages need not map to
+    consecutive physical pages (paper §IV, footnote 2).
+    """
+    blk = block_of(addr, block_bytes)
+    page_end_block = (page_of(addr, page_bytes) + 1) * (page_bytes // block_bytes)
+    return list(range(blk + 1, page_end_block))
+
+
+def blocks_preceding_in_page(
+    addr: int,
+    block_bytes: int = BLOCK_BYTES,
+    page_bytes: int = PAGE_BYTES,
+) -> list[int]:
+    """Blocks before ``addr``'s block down to the start of its page.
+
+    Used by the backward-burst variant (disabled by default; the paper found
+    no evidence backward bursts cause SB stalls).
+    """
+    blk = block_of(addr, block_bytes)
+    page_start_block = page_of(addr, page_bytes) * (page_bytes // block_bytes)
+    return list(range(blk - 1, page_start_block - 1, -1))

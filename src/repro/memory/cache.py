@@ -1,0 +1,146 @@
+"""Set-associative cache with LRU replacement and MESI block states."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.cache import CacheConfig
+from repro.memory.coherence import MESIState
+from repro.memory.replacement import build_replacement_policy
+
+
+@dataclass
+class CacheStats:
+    """Per-cache activity counters (tag accesses feed Figure 13)."""
+
+    tag_accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations: int = 0
+    prefetch_fills: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.tag_accesses += other.tag_accesses
+        self.hits += other.hits
+        self.misses += other.misses
+        self.insertions += other.insertions
+        self.evictions += other.evictions
+        self.dirty_evictions += other.dirty_evictions
+        self.invalidations += other.invalidations
+        self.prefetch_fills += other.prefetch_fills
+
+
+@dataclass
+class _Line:
+    """One resident cache line."""
+
+    state: MESIState
+    meta: int  # replacement-policy metadata (e.g. last-use cycle for LRU)
+    prefetched: bool = False
+
+
+class SetAssociativeCache:
+    """A single cache level indexed by block number.
+
+    Lines carry a MESI state so the same structure serves L1/L2/L3.  The
+    replacement policy is pluggable (LRU by default); victim selection scans
+    the set, which is cheap at associativities of at most 16.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.policy = build_replacement_policy(config.replacement)
+        self._set_mask = config.num_sets - 1
+        self._sets: list[dict[int, _Line]] = [{} for _ in range(config.num_sets)]
+        self.stats = CacheStats()
+
+    def _set_for(self, block: int) -> dict[int, _Line]:
+        return self._sets[block & self._set_mask]
+
+    def lookup(self, block: int, cycle: int, *, count_tag: bool = True) -> MESIState | None:
+        """Look a block up, updating recency.  ``None`` means miss."""
+        if count_tag:
+            self.stats.tag_accesses += 1
+        line = self._set_for(block).get(block)
+        if line is None:
+            self.stats.misses += 1
+            return None
+        self.policy.on_access(line, cycle)
+        self.stats.hits += 1
+        return line.state
+
+    def peek(self, block: int) -> MESIState | None:
+        """State of a block without touching recency or counters."""
+        line = self._set_for(block).get(block)
+        return None if line is None else line.state
+
+    def was_prefetched(self, block: int) -> bool:
+        line = self._set_for(block).get(block)
+        return bool(line and line.prefetched)
+
+    def clear_prefetched(self, block: int) -> None:
+        line = self._set_for(block).get(block)
+        if line is not None:
+            line.prefetched = False
+
+    def insert(
+        self,
+        block: int,
+        state: MESIState,
+        cycle: int,
+        *,
+        prefetched: bool = False,
+    ) -> tuple[int, MESIState] | None:
+        """Insert (or upgrade) a block; returns the evicted victim, if any.
+
+        The victim is reported as ``(block, state)`` so the hierarchy can
+        write back dirty data and update the directory.
+        """
+        cache_set = self._set_for(block)
+        existing = cache_set.get(block)
+        if existing is not None:
+            existing.state = state
+            self.policy.on_access(existing, cycle)
+            if prefetched:
+                existing.prefetched = True
+            return None
+        victim: tuple[int, MESIState] | None = None
+        if len(cache_set) >= self.config.associativity:
+            victim_block = self.policy.victim(cache_set, cycle)
+            victim_line = cache_set.pop(victim_block)
+            victim = (victim_block, victim_line.state)
+            self.stats.evictions += 1
+            if victim_line.state == MESIState.M:
+                self.stats.dirty_evictions += 1
+        line = _Line(state=state, meta=0, prefetched=prefetched)
+        self.policy.on_insert(line, cycle)
+        cache_set[block] = line
+        self.stats.insertions += 1
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return victim
+
+    def set_state(self, block: int, state: MESIState) -> None:
+        """Change the MESI state of a resident block (no recency update)."""
+        line = self._set_for(block).get(block)
+        if line is None:
+            raise KeyError(f"block {block:#x} not resident")
+        line.state = state
+
+    def invalidate(self, block: int) -> MESIState | None:
+        """Drop a block; returns its prior state or ``None`` if absent."""
+        line = self._set_for(block).pop(block, None)
+        if line is None:
+            return None
+        self.stats.invalidations += 1
+        return line.state
+
+    def resident_blocks(self) -> list[int]:
+        """All resident block numbers (test/diagnostic helper)."""
+        return [block for cache_set in self._sets for block in cache_set]
+
+    def occupancy(self) -> int:
+        return sum(len(cache_set) for cache_set in self._sets)

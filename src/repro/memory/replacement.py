@@ -1,0 +1,121 @@
+"""Cache replacement policies.
+
+Each policy manages one metadata value per resident line (the ``meta`` slot
+of the cache's line objects) and picks victims from a full set.  LRU is the
+default everywhere (and what the calibration uses); the others exist for
+sensitivity studies — replacement interacts with SPB through the burst's
+pollution footprint, which is the mechanism behind the paper's roms
+pathology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol
+
+
+class LineMetaView(Protocol):
+    """What a policy sees: a mapping block -> line with a ``meta`` slot."""
+
+    meta: int
+
+
+class ReplacementPolicy:
+    """Interface: update per-line ``meta`` and choose victims."""
+
+    name = "base"
+
+    def on_insert(self, line, cycle: int) -> None:
+        raise NotImplementedError
+
+    def on_access(self, line, cycle: int) -> None:
+        raise NotImplementedError
+
+    def victim(self, cache_set: Dict[int, object], cycle: int) -> int:
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Exact least-recently-used."""
+
+    name = "lru"
+
+    def on_insert(self, line, cycle: int) -> None:
+        line.meta = cycle
+
+    def on_access(self, line, cycle: int) -> None:
+        line.meta = cycle
+
+    def victim(self, cache_set, cycle: int) -> int:
+        return min(cache_set, key=lambda b: cache_set[b].meta)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: insertion order, untouched by hits."""
+
+    name = "fifo"
+
+    def on_insert(self, line, cycle: int) -> None:
+        line.meta = cycle
+
+    def on_access(self, line, cycle: int) -> None:
+        pass  # hits do not refresh age
+
+    def victim(self, cache_set, cycle: int) -> int:
+        return min(cache_set, key=lambda b: cache_set[b].meta)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Deterministic pseudo-random victim (hash of block and cycle)."""
+
+    name = "random"
+
+    def on_insert(self, line, cycle: int) -> None:
+        line.meta = 0
+
+    def on_access(self, line, cycle: int) -> None:
+        pass
+
+    def victim(self, cache_set, cycle: int) -> int:
+        blocks = sorted(cache_set)
+        index = hash((blocks[0], len(blocks), cycle)) % len(blocks)
+        return blocks[index]
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static RRIP with 2-bit re-reference prediction values.
+
+    Lines insert at RRPV 2 ("long re-reference"), reset to 0 on a hit; the
+    victim is any line at RRPV 3, ageing the whole set until one appears.
+    """
+
+    name = "srrip"
+    max_rrpv = 3
+
+    def on_insert(self, line, cycle: int) -> None:
+        line.meta = self.max_rrpv - 1
+
+    def on_access(self, line, cycle: int) -> None:
+        line.meta = 0
+
+    def victim(self, cache_set, cycle: int) -> int:
+        while True:
+            for block in sorted(cache_set):
+                if cache_set[block].meta >= self.max_rrpv:
+                    return block
+            for line in cache_set.values():
+                line.meta += 1
+
+
+_POLICIES = {
+    policy.name: policy
+    for policy in (LRUPolicy, FIFOPolicy, RandomPolicy, SRRIPPolicy)
+}
+
+
+def build_replacement_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a policy by name (lru, fifo, random, srrip)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(f"unknown replacement policy {name!r}; known: {known}")

@@ -1,0 +1,5 @@
+"""Multi-core system: per-core pipelines over a shared coherent uncore."""
+
+from repro.multicore.system import MulticoreSystem, MulticoreResult
+
+__all__ = ["MulticoreSystem", "MulticoreResult"]

@@ -1,0 +1,98 @@
+"""An N-core system sharing the L3 and directory (paper §VI-F).
+
+Each core has its own pipeline, private L1D/L2 and store-prefetch engine;
+the cores share one :class:`SharedUncore`, so SPB bursts on one core can
+invalidate lines another core holds — the coherence interaction §VI-F checks
+for.  Cores advance in lockstep, one cycle at a time; when every core is
+blocked the system jumps to the earliest event across all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.system import SystemConfig
+from repro.core.policies import build_store_prefetch_engine
+from repro.cpu.pipeline import Pipeline
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import MemoryHierarchy, SharedUncore
+from repro.prefetch import build_prefetcher
+from repro.stats.counters import PipelineStats
+
+
+@dataclass
+class MulticoreResult:
+    """Per-core results plus whole-system summary."""
+
+    cycles: int
+    per_core: list[PipelineStats]
+    pipelines: list[Pipeline] = field(default_factory=list, repr=False)
+
+    @property
+    def committed_uops(self) -> int:
+        return sum(stats.committed_uops for stats in self.per_core)
+
+    @property
+    def system_ipc(self) -> float:
+        return self.committed_uops / self.cycles if self.cycles else 0.0
+
+    @property
+    def sb_stall_ratio(self) -> float:
+        """Mean per-core SB stall fraction over the run."""
+        if not self.per_core or not self.cycles:
+            return 0.0
+        total = sum(stats.sb_stall_cycles for stats in self.per_core)
+        return total / (self.cycles * len(self.per_core))
+
+
+class MulticoreSystem:
+    """Builds and runs one multi-threaded workload."""
+
+    def __init__(self, config: SystemConfig, traces: list[Trace], seed: int = 7) -> None:
+        if not traces:
+            raise ValueError("need at least one per-thread trace")
+        self.config = config
+        self.uncore = SharedUncore(config.caches, num_cores=len(traces))
+        self.pipelines: list[Pipeline] = []
+        for core_id, trace in enumerate(traces):
+            hierarchy = MemoryHierarchy(
+                config.caches,
+                uncore=self.uncore,
+                core_id=core_id,
+                prefetcher=build_prefetcher(config.cache_prefetcher),
+            )
+            engine = build_store_prefetch_engine(
+                config.store_prefetch, hierarchy, config.spb
+            )
+            self.pipelines.append(
+                Pipeline(config, trace, hierarchy, engine, seed=seed + core_id)
+            )
+
+    def run(self, max_cycles: int = 500_000_000) -> MulticoreResult:
+        """Run all cores to completion in lockstep."""
+        pending = list(self.pipelines)
+        cycle = 0
+        while pending:
+            progress = False
+            for pipeline in pending:
+                if pipeline.step():
+                    progress = True
+            pending = [p for p in pending if not p.done()]
+            cycle += 1
+            if not progress and pending:
+                # Jump every blocked core forward to the earliest event.
+                target = min(p._next_event() for p in pending)
+                extra = target - pending[0].cycle
+                if extra > 0:
+                    for pipeline in pending:
+                        pipeline.stats.cycles += extra
+                        pipeline.cycle = target
+                    cycle += extra
+            if cycle > max_cycles:
+                raise RuntimeError(f"multicore run exceeded {max_cycles} cycles")
+        total_cycles = max(p.stats.cycles for p in self.pipelines)
+        return MulticoreResult(
+            cycles=total_cycles,
+            per_core=[p.stats for p in self.pipelines],
+            pipelines=self.pipelines,
+        )

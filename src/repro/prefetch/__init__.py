@@ -1,0 +1,33 @@
+"""Generic cache prefetchers layered under the store-prefetch policies."""
+
+from repro.prefetch.base import PrefetcherBase, NullPrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+from repro.prefetch.feedback import AggressivePrefetcher, AdaptivePrefetcher
+from repro.prefetch.stats import PrefetchOutcomeTracker, PrefetchOutcomes
+
+__all__ = [
+    "PrefetcherBase",
+    "NullPrefetcher",
+    "StreamPrefetcher",
+    "AggressivePrefetcher",
+    "AdaptivePrefetcher",
+    "PrefetchOutcomeTracker",
+    "PrefetchOutcomes",
+    "build_prefetcher",
+]
+
+
+def build_prefetcher(kind):
+    """Instantiate a cache prefetcher from a :class:`CachePrefetcherKind`."""
+    from repro.config import CachePrefetcherKind
+
+    kind = CachePrefetcherKind(kind)
+    if kind == CachePrefetcherKind.NONE:
+        return NullPrefetcher()
+    if kind == CachePrefetcherKind.STREAM:
+        return StreamPrefetcher()
+    if kind == CachePrefetcherKind.AGGRESSIVE:
+        return AggressivePrefetcher()
+    if kind == CachePrefetcherKind.ADAPTIVE:
+        return AdaptivePrefetcher()
+    raise ValueError(f"unknown prefetcher kind: {kind}")

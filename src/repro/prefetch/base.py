@@ -1,0 +1,56 @@
+"""Cache-prefetcher interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PrefetcherStats:
+    """Issue/usefulness counters for one prefetcher."""
+    issued: int = 0
+    useful: int = 0
+    demand_observations: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Useful prefetches over issued prefetches."""
+        return self.useful / self.issued if self.issued else 0.0
+
+
+class PrefetcherBase:
+    """Observes demand L1D accesses and proposes blocks to prefetch.
+
+    Subclasses implement :meth:`_propose`; the base class handles counting.
+    The hierarchy calls :meth:`on_useful_prefetch` whenever a demand access
+    hits a line that a prefetch brought in, which feedback-directed
+    prefetchers use to throttle themselves.
+    """
+
+    def __init__(self) -> None:
+        self.stats = PrefetcherStats()
+
+    def on_demand(
+        self, block: int, hit: bool, is_store: bool, cycle: int
+    ) -> list[tuple[int, bool]]:
+        """Return ``[(block, want_write), ...]`` prefetches to issue now."""
+        self.stats.demand_observations += 1
+        proposals = self._propose(block, hit, is_store, cycle)
+        self.stats.issued += len(proposals)
+        return proposals
+
+    def on_useful_prefetch(self) -> None:
+        """A demand access hit a line this prefetcher brought in."""
+        self.stats.useful += 1
+
+    def _propose(
+        self, block: int, hit: bool, is_store: bool, cycle: int
+    ) -> list[tuple[int, bool]]:
+        raise NotImplementedError
+
+
+class NullPrefetcher(PrefetcherBase):
+    """No cache prefetching at all."""
+
+    def _propose(self, block, hit, is_store, cycle):
+        return []

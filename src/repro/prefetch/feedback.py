@@ -1,0 +1,80 @@
+"""Feedback-directed prefetching (Srinath et al., HPCA 2007) — §VI-D.
+
+The paper compares SPB layered on top of two FDP-style configurations:
+
+* **Aggressive** — a stream prefetcher fixed at a high degree.
+* **Adaptive** — the feedback scheme: prefetch accuracy measured over
+  intervals moves the degree up or down between a minimum and a maximum.
+
+Both apply load-style prefetching blindly to stores, which is the behaviour
+§VI-D says leaves SB-induced stalls on the table.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.stream import StreamPrefetcher
+
+#: Accuracy thresholds from the FDP paper's operating modes.
+_HIGH_ACCURACY = 0.75
+_LOW_ACCURACY = 0.40
+
+
+class AggressivePrefetcher(StreamPrefetcher):
+    """Stream prefetcher pinned at an aggressive degree (FDP's 'very
+    aggressive' static configuration: degree 4)."""
+
+    def __init__(self, degree: int = 4) -> None:
+        super().__init__(degree=degree)
+
+
+class AdaptivePrefetcher(StreamPrefetcher):
+    """FDP adaptive throttling: per-interval accuracy adjusts the degree.
+
+    Every ``interval`` issued prefetches the accuracy over that window is
+    compared against the high/low thresholds; high accuracy steps the degree
+    up (to at most ``max_degree``), low accuracy steps it down (to at least
+    ``min_degree``).  This mirrors the dynamic-aggressiveness ladder of the
+    FDP proposal without its cache-pollution filter (the paper's §VI-D notes
+    the schemes barely change SB-induced stalls either way).
+    """
+
+    def __init__(
+        self,
+        min_degree: int = 1,
+        max_degree: int = 8,
+        start_degree: int = 2,
+        interval: int = 256,
+    ) -> None:
+        super().__init__(degree=start_degree)
+        if not (min_degree <= start_degree <= max_degree):
+            raise ValueError("need min_degree <= start_degree <= max_degree")
+        self.min_degree = min_degree
+        self.max_degree = max_degree
+        self.interval = interval
+        self._interval_issued = 0
+        self._interval_useful = 0
+        self.degree_changes = 0
+
+    def on_useful_prefetch(self) -> None:
+        """Count usefulness toward the current throttling interval."""
+        super().on_useful_prefetch()
+        self._interval_useful += 1
+
+    def _propose(self, block, hit, is_store, cycle):
+        proposals = super()._propose(block, hit, is_store, cycle)
+        self._interval_issued += len(proposals)
+        if self._interval_issued >= self.interval:
+            self._rethrottle()
+        return proposals
+
+    def _rethrottle(self) -> None:
+        accuracy = self._interval_useful / self._interval_issued
+        old_degree = self.degree
+        if accuracy >= _HIGH_ACCURACY and self.degree < self.max_degree:
+            self.degree += 1
+        elif accuracy < _LOW_ACCURACY and self.degree > self.min_degree:
+            self.degree -= 1
+        if self.degree != old_degree:
+            self.degree_changes += 1
+        self._interval_issued = 0
+        self._interval_useful = 0

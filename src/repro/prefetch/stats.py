@@ -1,0 +1,100 @@
+"""Classification of store-prefetch outcomes (paper Figure 11).
+
+Every write-permission prefetch issued on behalf of stores (at-commit
+requests, at-execute requests or SPB burst requests) is tracked from issue to
+first demand use:
+
+* **successful** — the demand store finds the prefetched block writable.
+* **late** — the demand store arrives while the prefetch is still in flight;
+  part of the latency was hidden but not all of it.
+* **early** — the block was prefetched but evicted or invalidated before the
+  demand store arrived.
+* **unused** — the block was prefetched and never demanded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class _State(enum.IntEnum):
+    IN_FLIGHT = 0
+    ARRIVED = 1
+
+
+@dataclass
+class PrefetchOutcomes:
+    """Final outcome counts for one run."""
+
+    successful: int = 0
+    late: int = 0
+    early: int = 0
+    unused: int = 0
+    demand_misses: int = 0  # demand stores with no prefetch coverage at all
+
+    @property
+    def issued(self) -> int:
+        """Prefetches with a classified outcome."""
+        return self.successful + self.late + self.early + self.unused
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of issued prefetches that were timely."""
+        return self.successful / self.issued if self.issued else 0.0
+
+    def fractions(self) -> dict[str, float]:
+        """Outcome shares of issued prefetches (Figure 11 bars)."""
+        total = self.issued
+        if not total:
+            return {"successful": 0.0, "late": 0.0, "early": 0.0, "unused": 0.0}
+        return {
+            "successful": self.successful / total,
+            "late": self.late / total,
+            "early": self.early / total,
+            "unused": self.unused / total,
+        }
+
+
+class PrefetchOutcomeTracker:
+    """Tracks each store-prefetched block until its outcome is known."""
+
+    def __init__(self) -> None:
+        self._pending: dict[int, tuple[_State, int]] = {}
+        self.outcomes = PrefetchOutcomes()
+
+    def on_prefetch_issued(self, block: int, completion: int, cycle: int) -> None:
+        """A write prefetch for ``block`` was accepted by the L1 controller."""
+        if block in self._pending:
+            return  # one tracked prefetch per block at a time
+        state = _State.ARRIVED if completion <= cycle else _State.IN_FLIGHT
+        self._pending[block] = (state, completion)
+
+    def on_demand_store(self, block: int, cycle: int) -> None:
+        """A demand store reached the head of the SB for ``block``."""
+        entry = self._pending.pop(block, None)
+        if entry is None:
+            self.outcomes.demand_misses += 1
+            return
+        state, completion = entry
+        if state == _State.ARRIVED or completion <= cycle:
+            self.outcomes.successful += 1
+        else:
+            self.outcomes.late += 1
+
+    def on_removed(self, block: int) -> None:
+        """The block left the cache (eviction or invalidation) unused."""
+        if self._pending.pop(block, None) is not None:
+            self.outcomes.early += 1
+
+    def settle(self, cycle: int) -> None:
+        """Promote in-flight entries whose fill has landed."""
+        for block, (state, completion) in list(self._pending.items()):
+            if state == _State.IN_FLIGHT and completion <= cycle:
+                self._pending[block] = (_State.ARRIVED, completion)
+
+    def finalize(self) -> PrefetchOutcomes:
+        """End of run: everything still pending was never used."""
+        self.outcomes.unused += len(self._pending)
+        self._pending.clear()
+        return self.outcomes

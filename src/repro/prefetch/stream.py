@@ -1,0 +1,74 @@
+"""Stream (stride) prefetcher — the paper's baseline L1 prefetcher.
+
+Table I lists a "stream prefetcher (stride)" at L1.  We model a small table
+of detected streams: a stream is confirmed after two accesses with the same
+block-level stride, after which each demand access prefetches ``degree``
+blocks ahead along the stride.  Stores prefetch with write intent; loads with
+read intent.  This is deliberately conservative (degree 1 by default), which
+is exactly the limitation §III-A of the paper describes: on a dense store
+burst the stream prefetcher only ever runs one block ahead of the demand
+stream.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import PrefetcherBase
+
+_TABLE_ENTRIES = 16
+
+
+class _StreamEntry:
+    __slots__ = ("last_block", "stride", "confirmed", "last_cycle")
+
+    def __init__(self, block: int, cycle: int) -> None:
+        self.last_block = block
+        self.stride = 0
+        self.confirmed = False
+        self.last_cycle = cycle
+
+
+class StreamPrefetcher(PrefetcherBase):
+    """Stride-confirming stream prefetcher with a bounded tracking table."""
+
+    def __init__(self, degree: int = 1, table_entries: int = _TABLE_ENTRIES) -> None:
+        super().__init__()
+        if degree <= 0:
+            raise ValueError("degree must be positive")
+        self.degree = degree
+        self.table_entries = table_entries
+        self._table: dict[int, _StreamEntry] = {}  # keyed by block >> 6 (region)
+
+    def _region(self, block: int) -> int:
+        # Track streams per 4 KiB region so independent streams don't alias.
+        return block >> 6
+
+    def _entry_for(self, block: int, cycle: int) -> _StreamEntry:
+        region = self._region(block)
+        entry = self._table.get(region)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                # Evict the least recently used stream.
+                oldest = min(self._table, key=lambda r: self._table[r].last_cycle)
+                del self._table[oldest]
+            entry = _StreamEntry(block, cycle)
+            self._table[region] = entry
+        return entry
+
+    def _propose(self, block, hit, is_store, cycle):
+        entry = self._entry_for(block, cycle)
+        entry.last_cycle = cycle
+        delta = block - entry.last_block
+        proposals: list[tuple[int, bool]] = []
+        if delta != 0:
+            if delta == entry.stride and entry.stride != 0:
+                entry.confirmed = True
+            else:
+                entry.stride = delta
+                entry.confirmed = False
+            entry.last_block = block
+        if entry.confirmed and entry.stride != 0:
+            proposals = [
+                (block + entry.stride * step, is_store)
+                for step in range(1, self.degree + 1)
+            ]
+        return proposals

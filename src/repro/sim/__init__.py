@@ -1,0 +1,19 @@
+"""Simulation entry points and experiment sweeps."""
+
+from repro.sim.runner import simulate, simulate_multicore, ResultsCache
+from repro.sim.sweep import (
+    policy_sweep,
+    sb_size_sweep,
+    normalized_performance,
+    geomean,
+)
+
+__all__ = [
+    "simulate",
+    "simulate_multicore",
+    "ResultsCache",
+    "policy_sweep",
+    "sb_size_sweep",
+    "normalized_performance",
+    "geomean",
+]

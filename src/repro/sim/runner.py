@@ -1,0 +1,147 @@
+"""Top-level simulation entry points.
+
+``simulate`` runs one workload trace through one system configuration and
+returns a :class:`SimResult`; ``simulate_multicore`` does the same for a
+multi-threaded workload.  Because every experiment in the paper compares the
+same workloads across many configurations, an in-process :class:`ResultsCache`
+memoises runs by (trace identity, configuration) so benchmark files can share
+work.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config.system import SystemConfig
+from repro.core.policies import SpbPrefetch, build_store_prefetch_engine
+from repro.core.spb import SpbStats
+from repro.cpu.pipeline import Pipeline
+from repro.energy.model import EnergyModel
+from repro.isa.trace import Trace
+from repro.memory.cache import CacheStats
+from repro.memory.dram import DramStats
+from repro.memory.hierarchy import MemoryHierarchy, TrafficStats
+from repro.memory.mshr import MSHRStats
+from repro.memory.tlb import TLBStats
+from repro.multicore.system import MulticoreResult, MulticoreSystem
+from repro.prefetch import build_prefetcher
+from repro.prefetch.stats import PrefetchOutcomeTracker
+from repro.stats.result import SimResult
+from repro.stats.topdown import TopDownMetrics
+
+
+def _reset_measurement_state(hierarchy: MemoryHierarchy, engine) -> None:
+    """Zero every statistics counter while keeping architectural state.
+
+    Used between the warm-up and measured portions of a run: caches, TLB,
+    directory contents and the SPB detector's registers survive; the
+    counters start fresh, mirroring the paper's "statistics are gathered
+    after a brief warm-up of the caches".
+    """
+    hierarchy.traffic = TrafficStats()
+    hierarchy.l1d.stats = CacheStats()
+    hierarchy.l2.stats = CacheStats()
+    hierarchy.l1_mshr.stats = MSHRStats()
+    if hierarchy.tlb is not None:
+        hierarchy.tlb.stats = TLBStats()
+    hierarchy.uncore.l3.stats = CacheStats()
+    hierarchy.uncore.l3_mshr.stats = MSHRStats()
+    hierarchy.uncore.dram.stats = DramStats()
+    engine.tracker = PrefetchOutcomeTracker()
+    hierarchy.prefetch_tracker = engine.tracker
+    engine.stats = type(engine.stats)()
+    if isinstance(engine, SpbPrefetch):
+        engine.detector.stats = SpbStats()
+
+
+def simulate(
+    trace: Trace, config: SystemConfig, seed: int = 7, warmup: int = 0
+) -> SimResult:
+    """Run ``trace`` on the machine described by ``config``.
+
+    When ``warmup`` is positive, the first ``warmup`` µops run first to warm
+    the caches, TLB and predictor state; every statistic then resets and
+    only the remainder of the trace is measured.
+    """
+    hierarchy = MemoryHierarchy(
+        config.caches, prefetcher=build_prefetcher(config.cache_prefetcher)
+    )
+    engine = build_store_prefetch_engine(config.store_prefetch, hierarchy, config.spb)
+    start_cycle = 0
+    if warmup > 0 and warmup < len(trace):
+        warm_part = Trace(list(trace)[:warmup], name=trace.name,
+                          regions=trace.regions)
+        trace = Trace(list(trace)[warmup:], name=trace.name,
+                      regions=trace.regions)
+        warm_pipeline = Pipeline(config, warm_part, hierarchy, engine, seed=seed)
+        warm_pipeline.run()
+        start_cycle = warm_pipeline.cycle
+        _reset_measurement_state(hierarchy, engine)
+    pipeline = Pipeline(
+        config, trace, hierarchy, engine, seed=seed, start_cycle=start_cycle
+    )
+    stats = pipeline.run()
+    outcomes = engine.tracker.finalize()
+    detector_stats = engine.detector.stats if isinstance(engine, SpbPrefetch) else None
+    result = SimResult(
+        workload=trace.name,
+        config_key=config.cache_key(),
+        policy=config.store_prefetch.value,
+        sb_entries=config.core.store_buffer_per_thread,
+        pipeline=stats,
+        topdown=TopDownMetrics.from_stats(stats, config.core.width),
+        traffic=hierarchy.traffic,
+        l1_stats=hierarchy.l1d.stats,
+        l2_stats=hierarchy.l2.stats,
+        l3_stats=hierarchy.uncore.l3.stats,
+        prefetch_outcomes=outcomes,
+        sb_stats=pipeline.sb.stats,
+        engine_stats=engine.stats,
+        detector_stats=detector_stats,
+    )
+    result.energy = EnergyModel().evaluate(result)
+    result.extras["regions"] = stats.stalls_by_region(trace.region_of)
+    return result
+
+
+def simulate_multicore(
+    traces: Sequence[Trace], config: SystemConfig, seed: int = 7
+) -> MulticoreResult:
+    """Run one per-core trace each on a coherent multi-core system."""
+    system = MulticoreSystem(config, list(traces), seed=seed)
+    return system.run()
+
+
+class ResultsCache:
+    """Memoises single-core runs per (workload name, length, seed, config).
+
+    Workload traces are deterministic functions of (name, length, seed), so
+    the tuple identifies the run completely.  Benchmarks share one module
+    cache so, e.g., the at-commit/SB56 baseline is simulated once and reused
+    by every figure that normalises against it.
+    """
+
+    def __init__(self) -> None:
+        self._results: dict[tuple, SimResult] = {}
+
+    def get(
+        self,
+        trace_factory,
+        name: str,
+        length: int,
+        config: SystemConfig,
+        seed: int = 1,
+    ) -> SimResult:
+        key = (name, length, seed, config.cache_key())
+        result = self._results.get(key)
+        if result is None:
+            trace = trace_factory(name, length=length, seed=seed)
+            result = simulate(trace, config)
+            self._results[key] = result
+        return result
+
+    def clear(self) -> None:
+        self._results.clear()
+
+    def __len__(self) -> int:
+        return len(self._results)

@@ -1,0 +1,83 @@
+"""Parameter sweeps shared by the figure benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.config.system import StorePrefetchPolicy, SystemConfig
+from repro.sim.runner import ResultsCache
+from repro.stats.result import SimResult
+
+#: The paper's three evaluated SB sizes (plus 1024 for the Ideal reference).
+PAPER_SB_SIZES = (14, 28, 56)
+IDEAL_SB_SIZE = 1024
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's ALL / SB-BOUND aggregation)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def policy_sweep(
+    cache: ResultsCache,
+    trace_factory,
+    apps: Sequence[str],
+    sb_entries: int,
+    policies: Sequence[StorePrefetchPolicy | str],
+    length: int,
+    base_config: SystemConfig | None = None,
+) -> dict[str, dict[str, SimResult]]:
+    """Run every app under every policy at one SB size.
+
+    Returns ``{app: {policy: SimResult}}``.
+    """
+    base = base_config or SystemConfig()
+    results: dict[str, dict[str, SimResult]] = {}
+    for app in apps:
+        per_policy: dict[str, SimResult] = {}
+        for policy in policies:
+            config = base.with_sb(sb_entries).with_policy(policy)
+            per_policy[StorePrefetchPolicy(policy).value] = cache.get(
+                trace_factory, app, length, config
+            )
+        results[app] = per_policy
+    return results
+
+
+def sb_size_sweep(
+    cache: ResultsCache,
+    trace_factory,
+    apps: Sequence[str],
+    sb_sizes: Sequence[int],
+    policy: StorePrefetchPolicy | str,
+    length: int,
+    base_config: SystemConfig | None = None,
+) -> dict[str, dict[int, SimResult]]:
+    """Run every app under one policy across several SB sizes."""
+    base = base_config or SystemConfig()
+    results: dict[str, dict[int, SimResult]] = {}
+    for app in apps:
+        per_size: dict[int, SimResult] = {}
+        for size in sb_sizes:
+            config = base.with_sb(size).with_policy(policy)
+            per_size[size] = cache.get(trace_factory, app, length, config)
+        results[app] = per_size
+    return results
+
+
+def normalized_performance(
+    results: dict[str, SimResult], ideal: dict[str, SimResult]
+) -> dict[str, float]:
+    """Per-app performance relative to the Ideal run (Figure 5's y-axis).
+
+    Performance is 1 / execution time, so the value is
+    ``ideal_cycles / cycles``; 1.0 means matching the ideal SB.
+    """
+    return {
+        app: ideal[app].cycles / result.cycles if result.cycles else 0.0
+        for app, result in results.items()
+    }

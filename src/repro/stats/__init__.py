@@ -1,0 +1,7 @@
+"""Simulation statistics: counters, Top-Down metrics and run results."""
+
+from repro.stats.counters import PipelineStats, StallBreakdown
+from repro.stats.result import SimResult
+from repro.stats.topdown import TopDownMetrics
+
+__all__ = ["PipelineStats", "StallBreakdown", "SimResult", "TopDownMetrics"]

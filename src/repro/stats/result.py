@@ -1,0 +1,74 @@
+"""Aggregated result of one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.memory.cache import CacheStats
+from repro.memory.hierarchy import TrafficStats
+from repro.prefetch.stats import PrefetchOutcomes
+from repro.stats.counters import PipelineStats
+from repro.stats.topdown import TopDownMetrics
+
+
+@dataclass
+class SimResult:
+    """Everything a benchmark needs from one (workload, config) run."""
+
+    workload: str
+    config_key: str
+    policy: str
+    sb_entries: int
+    pipeline: PipelineStats
+    topdown: TopDownMetrics
+    traffic: TrafficStats
+    l1_stats: CacheStats
+    l2_stats: CacheStats
+    l3_stats: CacheStats
+    prefetch_outcomes: PrefetchOutcomes
+    sb_stats: Any = None
+    engine_stats: Any = None
+    detector_stats: Any = None
+    energy: Any = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        """Total simulated cycles of the run."""
+        return self.pipeline.cycles
+
+    @property
+    def ipc(self) -> float:
+        """Committed micro-ops per cycle."""
+        return self.pipeline.ipc
+
+    @property
+    def sb_stall_ratio(self) -> float:
+        """Fraction of cycles stalled on a full SB."""
+        return self.pipeline.sb_stall_ratio
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Speedup of this run relative to ``baseline`` (cycles ratio)."""
+        if not self.cycles:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def normalized_time_to(self, baseline: "SimResult") -> float:
+        """Execution time normalised to ``baseline`` (the paper's y-axes)."""
+        if not baseline.cycles:
+            return 0.0
+        return self.cycles / baseline.cycles
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary for printing and JSON dumps."""
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "sb_entries": self.sb_entries,
+            "cycles": self.cycles,
+            "ipc": round(self.ipc, 4),
+            "sb_stall_ratio": round(self.sb_stall_ratio, 4),
+            "l1d_miss_pending_stall": round(self.topdown.l1d_miss_pending_stall, 4),
+            "prefetch_success_rate": round(self.prefetch_outcomes.success_rate, 4),
+        }

@@ -1,0 +1,46 @@
+"""Intel Top-Down-style derived metrics (Yasin, ISPASS 2014).
+
+The paper leans on two Top-Down statistics: the ratio of stall cycles caused
+by a full store buffer (its Figure 1) and "execution stalls while there are
+L1D misses pending", the memory-boundedness proxy behind Figures 14 and 15.
+This module derives both from raw pipeline counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.counters import PipelineStats
+
+
+@dataclass(frozen=True)
+class TopDownMetrics:
+    """Derived per-run metrics, all expressed as cycle fractions."""
+
+    sb_bound: float
+    l1d_miss_pending_stall: float
+    frontend_bound: float
+    backend_other: float
+    retiring: float
+
+    @classmethod
+    def from_stats(cls, stats: PipelineStats, width: int) -> "TopDownMetrics":
+        """Derive the Top-Down buckets from raw counters.
+
+        ``retiring`` follows Top-Down's slot accounting (committed µops over
+        ``width * cycles`` slots); the stall buckets are cycle fractions.
+        """
+        cycles = max(1, stats.cycles)
+        slots = cycles * max(1, width)
+        return cls(
+            sb_bound=stats.sb_stall_cycles / cycles,
+            l1d_miss_pending_stall=stats.exec_stall_l1d_pending / cycles,
+            frontend_bound=stats.stalls.frontend / cycles,
+            backend_other=stats.stalls.other / cycles,
+            retiring=min(1.0, stats.committed_uops / slots),
+        )
+
+    @property
+    def is_sb_bound(self) -> bool:
+        """The paper's classification: more than 2% SB-induced stalls."""
+        return self.sb_bound > 0.02

@@ -1,0 +1,153 @@
+"""Reusable phase builders shared by the SPEC and PARSEC workload tables.
+
+Each helper returns a :class:`PhaseSpec` whose builder emits one kernel
+invocation.  Burst phases blend warm, pool-resident destinations with
+periodic fresh (DRAM-cold) destinations via ``fresh_every``; load and sparse
+phases can tie their working set to another phase's with ``warm_key``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads import kernels as K
+from repro.workloads.generator import PhaseSpec
+
+_KIB = 1024
+
+
+def warm_base(pc_base: int) -> int:
+    """A per-phase stable address region for phases with a warm working set."""
+    return (1 << 40) + pc_base * (1 << 24)
+
+
+def pool_slot(pc_base: int, inv: int, nbytes: int, pool_kib: int) -> int:
+    """Rotate invocations through a bounded pool of buffers."""
+    slots = max(1, (pool_kib * _KIB) // max(1, nbytes))
+    return warm_base(pc_base) + (inv % slots) * nbytes
+
+
+def burst_dst(pc_base: int, inv: int, base: int, nbytes: int, pool_kib: int,
+               fresh_every: int) -> int:
+    """Destination of one burst invocation.
+
+    Real data-movement bursts mix reused buffers (frame/grid buffers that
+    stay L2/L3-resident) with writes to freshly allocated memory (cold all
+    the way to DRAM).  Every ``fresh_every``-th invocation targets a fresh
+    region (``base`` advances per invocation); the others rotate through a
+    small warm pool.
+    """
+    if fresh_every and inv % fresh_every == 0:
+        return base
+    return pool_slot(pc_base, inv, nbytes, pool_kib)
+
+
+def memcpy(weight: float, nbytes: int = 4 * _KIB, region: str = "memcpy",
+            pool_kib: int = 8, fresh_every: int = 4, chunk: int = 3000) -> PhaseSpec:
+    """Library memcpy bursts: contiguous load+store word copies."""
+    def build(inv: int, rng: random.Random, base: int, pc_base: int) -> K.KernelBuilder:
+        dst = burst_dst(pc_base, inv, base, nbytes, pool_kib, fresh_every)
+        src = pool_slot(pc_base, inv + 1, nbytes, pool_kib) + pool_kib * _KIB
+        return K.memcpy_kernel(nbytes, dst, src, pc_base, region)
+    return PhaseSpec(region, build, weight, chunk_uops=chunk)
+
+
+def memset(weight: float, nbytes: int = 4 * _KIB, region: str = "memset",
+            pool_kib: int = 8, fresh_every: int = 4, chunk: int = 2000) -> PhaseSpec:
+    """Library memset bursts: contiguous store-only fills."""
+    def build(inv: int, rng: random.Random, base: int, pc_base: int) -> K.KernelBuilder:
+        dst = burst_dst(pc_base, inv, base, nbytes, pool_kib, fresh_every)
+        return K.memset_kernel(nbytes, dst_base=dst, pc_base=pc_base, region=region)
+    return PhaseSpec(region, build, weight, chunk_uops=chunk)
+
+
+def clear_page(weight: float, pages: int = 4, chunk: int = 2000) -> PhaseSpec:
+    """OS clear_page: zeroing freshly mapped (DRAM-cold) pages."""
+    def build(inv: int, rng: random.Random, base: int, pc_base: int) -> K.KernelBuilder:
+        # Fresh pages every time: the OS only clears memory the process has
+        # never touched, so this phase is DRAM-cold by construction.
+        return K.clear_page_kernel(pages, base=base, pc_base=pc_base)
+    return PhaseSpec("clear_page", build, weight, chunk_uops=chunk)
+
+
+def app_copy(weight: float, nbytes: int = 2 * _KIB, pool_kib: int = 8,
+              fresh_every: int = 4, chunk: int = 3000) -> PhaseSpec:
+    """Manual data movement in application code (deepsjeng/roms style)."""
+    def build(inv: int, rng: random.Random, base: int, pc_base: int) -> K.KernelBuilder:
+        dst = burst_dst(pc_base, inv, base, nbytes, pool_kib, fresh_every)
+        src = pool_slot(pc_base, inv + 1, nbytes, pool_kib) + pool_kib * _KIB
+        return K.memcpy_kernel(nbytes, dst, src, pc_base, "app")
+    return PhaseSpec("app_copy", build, weight, chunk_uops=chunk)
+
+
+def shuffled(weight: float, nbytes: int = 4 * _KIB, pool_kib: int = 8,
+              fresh_every: int = 4, chunk: int = 2000) -> PhaseSpec:
+    """Unroll-shuffled contiguous stores (the roms pattern)."""
+    def build(inv: int, rng: random.Random, base: int, pc_base: int) -> K.KernelBuilder:
+        dst = burst_dst(pc_base, inv, base, nbytes, pool_kib, fresh_every)
+        return K.shuffled_store_kernel(nbytes, dst_base=dst, pc_base=pc_base, rng=rng)
+    return PhaseSpec("shuffled", build, weight, chunk_uops=chunk)
+
+
+def strided(weight: float, count: int = 600, stride: int = 256,
+             chunk: int = 1800) -> PhaseSpec:
+    """Strided stores: stream-prefetchable but invisible to SPB."""
+    def build(inv: int, rng: random.Random, base: int, pc_base: int) -> K.KernelBuilder:
+        dst = pool_slot(pc_base, inv, count * stride, 256)
+        return K.strided_store_kernel(count, dst_base=dst, stride=stride, pc_base=pc_base)
+    return PhaseSpec("strided", build, weight, chunk_uops=chunk)
+
+
+def sparse(weight: float, count: int = 500, span: int = 8 << 20,
+            warm_key: int | None = None, chunk: int = 1500) -> PhaseSpec:
+    def build(inv: int, rng: random.Random, base: int, pc_base: int) -> K.KernelBuilder:
+        # warm_key ties the store span to another phase's working set (e.g.
+        # xz stores into the dictionary window its load phase keeps warm).
+        origin = warm_base(warm_key) if warm_key is not None else warm_base(pc_base)
+        return K.sparse_store_kernel(
+            count, base=origin, span_bytes=span, pc_base=pc_base, rng=rng
+        )
+    return PhaseSpec("sparse", build, weight, chunk_uops=chunk)
+
+
+def loads(weight: float, count: int = 800, warm: bool = True,
+           warm_key: int | None = None, chunk: int = 2400) -> PhaseSpec:
+    """Sequential load streams over a warm or fresh region."""
+    def build(inv: int, rng: random.Random, base: int, pc_base: int) -> K.KernelBuilder:
+        if warm_key is not None:
+            start = warm_base(warm_key)
+        elif warm:
+            start = warm_base(pc_base)
+        else:
+            start = base
+        return K.load_stream_kernel(count, base=start + (inv % 64) * 4096, pc_base=pc_base)
+    return PhaseSpec("loads", build, weight, chunk_uops=chunk)
+
+
+def chase(weight: float, count: int = 400, working_set: int = 32 << 20,
+           chunk: int = 800) -> PhaseSpec:
+    """Pointer chasing: dependent loads over a large working set."""
+    def build(inv: int, rng: random.Random, base: int, pc_base: int) -> K.KernelBuilder:
+        return K.pointer_chase_kernel(
+            count, base=warm_base(pc_base), working_set_bytes=working_set,
+            pc_base=pc_base, rng=rng,
+        )
+    return PhaseSpec("chase", build, weight, chunk_uops=chunk)
+
+
+def compute(weight: float, count: int = 2000, fp: float = 0.5,
+             chunk: int = 2000) -> PhaseSpec:
+    """Arithmetic with dependency chains (no memory traffic)."""
+    def build(inv: int, rng: random.Random, base: int, pc_base: int) -> K.KernelBuilder:
+        return K.compute_kernel(count, pc_base=pc_base, fp_fraction=fp, rng=rng)
+    return PhaseSpec("compute", build, weight, chunk_uops=chunk)
+
+
+def branchy(weight: float, count: int = 1000, mispredict: float = 0.04,
+             chunk: int = 2000) -> PhaseSpec:
+    """Data-dependent branches with a configurable mispredict rate."""
+    def build(inv: int, rng: random.Random, base: int, pc_base: int) -> K.KernelBuilder:
+        return K.branchy_kernel(count, pc_base=pc_base, mispredict_rate=mispredict, rng=rng)
+    return PhaseSpec("branchy", build, weight, chunk_uops=chunk)
+
+

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheHierarchyConfig, SystemConfig
+from repro.isa.trace import Trace
+from repro.isa.uop import MicroOp, OpKind
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def skylake():
+    """The Table I baseline configuration."""
+    return SystemConfig.skylake()
+
+
+@pytest.fixture
+def hierarchy():
+    """A single-core memory hierarchy with no cache prefetcher."""
+    return MemoryHierarchy(CacheHierarchyConfig())
+
+
+def make_store_run(start_addr: int, words: int, pc: int = 0x100,
+                   step: int = 8) -> list[MicroOp]:
+    """A run of contiguous stores, ``step`` bytes apart."""
+    return [
+        MicroOp(OpKind.STORE, pc=pc, addr=start_addr + i * step, size=8)
+        for i in range(words)
+    ]
+
+
+def make_trace(ops, name="test") -> Trace:
+    return Trace(ops, name=name)
+
+
+@pytest.fixture
+def store_burst_trace():
+    """One page of contiguous 8-byte stores (the Figure 2 pattern)."""
+    return make_trace(make_store_run(0x10000, 512))

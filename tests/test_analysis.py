@@ -1,0 +1,98 @@
+"""Tests for the analysis/presentation helpers."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.report import compile_report
+from repro.analysis.tables import (
+    ascii_bar_chart,
+    format_table,
+    markdown_table,
+    normalize_series,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bbbb"), [(1, 2.0), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+    def test_float_digits(self):
+        text = format_table(("x",), [(1.23456,)], float_digits=2)
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+    def test_empty_rows(self):
+        text = format_table(("x", "y"), [])
+        assert len(text.splitlines()) == 2
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = markdown_table(("a", "b"), [(1, 2)])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestAsciiBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart({"half": 0.5, "full": 1.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_reference_marker(self):
+        chart = ascii_bar_chart({"x": 0.5}, width=10, reference=1.0)
+        assert "|" in chart
+
+    def test_empty(self):
+        assert ascii_bar_chart({}) == "(empty)"
+
+    def test_values_shown(self):
+        chart = ascii_bar_chart({"x": 0.123})
+        assert "0.123" in chart
+
+
+class TestNormalize:
+    def test_divides_by_baseline(self):
+        out = normalize_series({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError):
+            normalize_series({"a": 0.0}, "a")
+
+
+class TestCompileReport:
+    def test_compiles_json_files(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig01_sb_stall_ratio.json").write_text(
+            json.dumps({"ALL/SB56": 0.04, "per_app": {"bwaves": 0.1}})
+        )
+        (results / "custom_extra.json").write_text(json.dumps({"x": 1}))
+        text = compile_report(str(results))
+        assert "Figure 1" in text
+        assert "ALL/SB56" in text
+        assert "0.0400" in text
+        assert "custom_extra" in text  # unknown names still included
+
+    def test_writes_output_file(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "sens_n.json").write_text(json.dumps({"SB14/N48": 0.9}))
+        out = tmp_path / "REPORT.md"
+        compile_report(str(results), str(out))
+        assert out.exists()
+        assert "Sensitivity" in out.read_text()
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            compile_report(str(tmp_path / "nope"))

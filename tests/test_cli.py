@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gcc"])
+        assert args.policy == "at-commit"
+        assert args.sb == 56
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gcc", "--policy", "magic"])
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "bwaves" in out
+        assert "dedup" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "gcc", "--length", "3000", "--policy", "spb"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "SPB:" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "gcc", "--length", "3000", "--sb", "14"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("none", "at-commit", "spb", "ideal"):
+            assert policy in out
+
+    def test_trace_and_run_from_file(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl.gz")
+        assert main(["trace", "gcc", path, "--length", "3000"]) == 0
+        assert main(["run", "gcc", "--trace-file", path]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_report(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "sens_n.json").write_text(json.dumps({"SB14/N48": 0.9}))
+        out_file = tmp_path / "REPORT.md"
+        assert main([
+            "report", "--results-dir", str(results), "--output", str(out_file)
+        ]) == 0
+        assert out_file.exists()

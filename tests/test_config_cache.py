@@ -1,0 +1,72 @@
+"""Tests for cache geometry configuration (paper Table I)."""
+
+import pytest
+
+from repro.config.cache import CacheConfig, CacheHierarchyConfig
+
+
+class TestCacheConfig:
+    def test_table1_l1d_geometry(self):
+        cfg = CacheHierarchyConfig().l1d
+        assert cfg.size_bytes == 32 * 1024
+        assert cfg.associativity == 8
+        assert cfg.latency == 4
+        assert cfg.block_bytes == 64
+
+    def test_table1_l2_geometry(self):
+        cfg = CacheHierarchyConfig().l2
+        assert cfg.size_bytes == 1024 * 1024
+        assert cfg.associativity == 16
+        assert cfg.latency == 14
+
+    def test_table1_l3_geometry(self):
+        cfg = CacheHierarchyConfig().l3
+        assert cfg.size_bytes == 16 * 1024 * 1024
+        assert cfg.associativity == 16
+        assert cfg.latency == 36
+
+    def test_table1_mshr_entries(self):
+        hier = CacheHierarchyConfig()
+        assert hier.l1d.mshr_entries == 64
+        assert hier.l3.mshr_entries == 64
+
+    def test_num_sets(self):
+        cfg = CacheConfig("L1D", 32 * 1024, 8, latency=4)
+        assert cfg.num_sets == 64
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 0, 8, latency=1)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 32 * 1024, 8, latency=1, block_bytes=48)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 24 * 1024, 8, latency=1)
+
+    def test_rejects_geometry_with_no_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 64, 8, latency=1)
+
+
+class TestCacheHierarchyConfig:
+    def test_blocks_per_page(self):
+        assert CacheHierarchyConfig().blocks_per_page == 64
+
+    def test_block_bytes_consistent(self):
+        assert CacheHierarchyConfig().block_bytes == 64
+
+    def test_rejects_mismatched_block_sizes(self):
+        with pytest.raises(ValueError):
+            CacheHierarchyConfig(
+                l1d=CacheConfig("L1D", 32 * 1024, 8, latency=4, block_bytes=32)
+            )
+
+    def test_rejects_page_not_multiple_of_block(self):
+        with pytest.raises(ValueError):
+            CacheHierarchyConfig(page_bytes=1000)
+
+    def test_default_dram_latency_positive(self):
+        assert CacheHierarchyConfig().dram_latency > 0

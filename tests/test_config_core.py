@@ -1,0 +1,90 @@
+"""Tests for core configuration (paper Tables I and II)."""
+
+import pytest
+
+from repro.config.core import CORE_PRESETS, CoreConfig, core_preset
+
+
+class TestCoreConfigDefaults:
+    def test_table1_baseline(self):
+        core = CoreConfig()
+        assert core.width == 4
+        assert core.rob_entries == 224
+        assert core.issue_queue_entries == 97
+        assert core.load_queue_entries == 72
+        assert core.store_buffer_entries == 56
+
+    def test_table1_registers(self):
+        core = CoreConfig()
+        assert core.int_registers == 180
+        assert core.fp_registers == 180
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            CoreConfig(width=0)
+
+    def test_rejects_bad_smt(self):
+        with pytest.raises(ValueError):
+            CoreConfig(smt_threads=3)
+
+    def test_rejects_zero_rob(self):
+        with pytest.raises(ValueError):
+            CoreConfig(rob_entries=0)
+
+
+class TestSmtPartitioning:
+    """The paper: the SB is statically partitioned across SMT threads."""
+
+    def test_smt1_full_sb(self):
+        assert CoreConfig().store_buffer_per_thread == 56
+
+    def test_smt2_half_sb(self):
+        assert CoreConfig().with_smt(2).store_buffer_per_thread == 28
+
+    def test_smt4_quarter_sb(self):
+        assert CoreConfig().with_smt(4).store_buffer_per_thread == 14
+
+    def test_partitioning_never_reaches_zero(self):
+        tiny = CoreConfig(store_buffer_entries=2).with_smt(4)
+        assert tiny.store_buffer_per_thread == 1
+
+
+class TestWithStoreBuffer:
+    def test_changes_only_sb(self):
+        base = CoreConfig()
+        small = base.with_store_buffer(14)
+        assert small.store_buffer_entries == 14
+        assert small.rob_entries == base.rob_entries
+        assert base.store_buffer_entries == 56  # original untouched
+
+
+class TestTable2Presets:
+    """Table II: SLM, NHL, HSW, SKL, SNC."""
+
+    @pytest.mark.parametrize(
+        "name,rob,iq,lq,sq,width",
+        [
+            ("SLM", 32, 15, 10, 16, 4),
+            ("NHL", 128, 32, 48, 36, 4),
+            ("HSW", 192, 60, 72, 42, 8),
+            ("SKL", 224, 97, 72, 56, 8),
+            ("SNC", 352, 128, 128, 72, 8),
+        ],
+    )
+    def test_preset_values(self, name, rob, iq, lq, sq, width):
+        core = core_preset(name)
+        assert core.rob_entries == rob
+        assert core.issue_queue_entries == iq
+        assert core.load_queue_entries == lq
+        assert core.store_buffer_entries == sq
+        assert core.width == width
+
+    def test_all_presets_present(self):
+        assert set(CORE_PRESETS) == {"SLM", "NHL", "HSW", "SKL", "SNC"}
+
+    def test_lookup_case_insensitive(self):
+        assert core_preset("skl").name == "SKL"
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown core preset"):
+            core_preset("EPYC")

@@ -1,0 +1,98 @@
+"""Tests for the top-level system configuration and SPB parameters."""
+
+import pytest
+
+from repro.config import (
+    CachePrefetcherKind,
+    SpbConfig,
+    StorePrefetchPolicy,
+    SystemConfig,
+)
+
+
+class TestStorePrefetchPolicy:
+    def test_all_paper_policies_exist(self):
+        values = {p.value for p in StorePrefetchPolicy}
+        assert values == {"none", "at-execute", "at-commit", "spb", "ideal"}
+
+    def test_from_string(self):
+        assert StorePrefetchPolicy("spb") == StorePrefetchPolicy.SPB
+
+
+class TestSpbConfig:
+    def test_default_n_is_48(self):
+        # §IV-C: N = 48 chosen for the evaluation.
+        assert SpbConfig().check_interval == 48
+
+    def test_threshold_is_n_over_8(self):
+        assert SpbConfig(check_interval=48).threshold == 6
+        assert SpbConfig(check_interval=24).threshold == 3
+        assert SpbConfig(check_interval=8).threshold == 1
+
+    def test_counter_saturation_value(self):
+        assert SpbConfig().counter_max == 15  # 4-bit saturating counter
+
+    def test_storage_budget_for_n32_is_67_bits(self):
+        # 58 (last block) + 4 (counter) + 5 (store count) = the paper's 67.
+        assert SpbConfig(check_interval=32).storage_bits == 67
+
+    def test_storage_grows_with_n(self):
+        assert SpbConfig(check_interval=48).storage_bits == 68
+
+    def test_rejects_n_below_one_block(self):
+        with pytest.raises(ValueError):
+            SpbConfig(check_interval=4)
+
+    def test_rejects_zero_counter_bits(self):
+        with pytest.raises(ValueError):
+            SpbConfig(counter_bits=0)
+
+
+class TestSystemConfig:
+    def test_skylake_factory(self):
+        cfg = SystemConfig.skylake(sb_entries=14, store_prefetch="spb")
+        assert cfg.core.store_buffer_entries == 14
+        assert cfg.store_prefetch == StorePrefetchPolicy.SPB
+
+    def test_default_prefetcher_is_stream(self):
+        # Table I: L1 stream (stride) prefetcher.
+        assert SystemConfig().cache_prefetcher == CachePrefetcherKind.STREAM
+
+    def test_preset_factory(self):
+        cfg = SystemConfig.preset("SNC", sb_entries=36)
+        assert cfg.core.name == "SNC"
+        assert cfg.core.store_buffer_entries == 36
+
+    def test_with_policy_returns_new_config(self):
+        base = SystemConfig()
+        spb = base.with_policy("spb")
+        assert spb.store_prefetch == StorePrefetchPolicy.SPB
+        assert base.store_prefetch == StorePrefetchPolicy.AT_COMMIT
+
+    def test_with_sb_returns_new_config(self):
+        base = SystemConfig()
+        assert base.with_sb(28).core.store_buffer_entries == 28
+        assert base.core.store_buffer_entries == 56
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=0)
+
+
+class TestCacheKey:
+    def test_identical_configs_share_key(self):
+        assert SystemConfig().cache_key() == SystemConfig().cache_key()
+
+    def test_policy_changes_key(self):
+        assert (
+            SystemConfig().cache_key()
+            != SystemConfig().with_policy("spb").cache_key()
+        )
+
+    def test_sb_size_changes_key(self):
+        assert SystemConfig().cache_key() != SystemConfig().with_sb(14).cache_key()
+
+    def test_key_is_short_hex(self):
+        key = SystemConfig().cache_key()
+        assert len(key) == 16
+        int(key, 16)  # parses as hex

@@ -1,0 +1,156 @@
+"""Tests for the store-prefetch policy engines."""
+
+import pytest
+
+from repro.config.cache import CacheHierarchyConfig
+from repro.config.system import SpbConfig, StorePrefetchPolicy
+from repro.core.policies import (
+    AtCommitPrefetch,
+    AtExecutePrefetch,
+    IdealStorePrefetch,
+    NoStorePrefetch,
+    SpbPrefetch,
+    build_store_prefetch_engine,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(CacheHierarchyConfig())
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "policy,cls",
+        [
+            ("none", NoStorePrefetch),
+            ("at-execute", AtExecutePrefetch),
+            ("at-commit", AtCommitPrefetch),
+            ("spb", SpbPrefetch),
+            ("ideal", IdealStorePrefetch),
+        ],
+    )
+    def test_builds_each_policy(self, hierarchy, policy, cls):
+        engine = build_store_prefetch_engine(policy, hierarchy)
+        assert isinstance(engine, cls)
+        assert engine.policy == StorePrefetchPolicy(policy)
+
+    def test_only_ideal_is_unbounded(self, hierarchy):
+        for policy in ("none", "at-execute", "at-commit", "spb"):
+            assert not build_store_prefetch_engine(policy, hierarchy).unbounded_sb
+        assert build_store_prefetch_engine("ideal", hierarchy).unbounded_sb
+
+    def test_attaches_tracker_to_hierarchy(self, hierarchy):
+        engine = build_store_prefetch_engine("at-commit", hierarchy)
+        assert hierarchy.prefetch_tracker is engine.tracker
+
+
+class TestNoPrefetch:
+    def test_issues_nothing(self, hierarchy):
+        engine = NoStorePrefetch(hierarchy)
+        engine.on_store_executed(1, 0)
+        engine.on_store_committed(1, 64, 0)
+        assert engine.stats.prefetches_issued == 0
+        assert hierarchy.traffic.cpu_store_prefetch_requests == 0
+
+
+class TestAtExecute:
+    def test_prefetches_at_execute(self, hierarchy):
+        engine = AtExecutePrefetch(hierarchy)
+        engine.on_store_executed(1, 0)
+        assert engine.stats.prefetches_issued == 1
+        assert hierarchy.has_write_permission(1)
+
+    def test_commit_is_silent(self, hierarchy):
+        engine = AtExecutePrefetch(hierarchy)
+        engine.on_store_committed(1, 64, 0)
+        assert engine.stats.prefetches_issued == 0
+
+    def test_wrong_path_wastes_a_prefetch(self, hierarchy):
+        # §II: at-execute is speculative; squashed stores still prefetch.
+        engine = AtExecutePrefetch(hierarchy)
+        engine.on_wrong_path_store(9, 0)
+        assert engine.stats.wrong_path_prefetches == 1
+        assert hierarchy.has_write_permission(9)
+
+
+class TestAtCommit:
+    def test_prefetches_at_commit(self, hierarchy):
+        engine = AtCommitPrefetch(hierarchy)
+        engine.on_store_committed(1, 64, 0)
+        assert engine.stats.prefetches_issued == 1
+        assert hierarchy.has_write_permission(1)
+
+    def test_execute_is_silent(self, hierarchy):
+        engine = AtCommitPrefetch(hierarchy)
+        engine.on_store_executed(1, 0)
+        assert engine.stats.prefetches_issued == 0
+
+    def test_wrong_path_is_silent(self, hierarchy):
+        # At-commit is non-speculative: squashed stores never reach it.
+        engine = AtCommitPrefetch(hierarchy)
+        engine.on_wrong_path_store(9, 0)
+        assert engine.stats.prefetches_issued == 0
+
+
+class TestSpbEngine:
+    def _commit_run(self, engine, start_addr, words):
+        for i in range(words):
+            addr = start_addr + i * 8
+            engine.on_store_committed(addr // 64, addr, cycle=i)
+
+    def test_burst_covers_rest_of_page(self, hierarchy):
+        engine = SpbPrefetch(hierarchy, SpbConfig(check_interval=8))
+        self._commit_run(engine, 0, 9)  # crosses into block 1 at store 9
+        assert engine.stats.burst_requests == 1
+        # Burst asked for blocks 2..63 of page 0 (the trigger store is in
+        # block 1 when the window closes).
+        assert engine.stats.burst_blocks_requested == 62
+        assert hierarchy.has_write_permission(40)
+        assert not hierarchy.has_write_permission(64)  # next page untouched
+
+    def test_no_burst_on_sparse_stores(self, hierarchy):
+        import random
+
+        rng = random.Random(1)
+        engine = SpbPrefetch(hierarchy, SpbConfig(check_interval=8))
+        for i in range(64):
+            addr = rng.randrange(1 << 24) * 8
+            engine.on_store_committed(addr // 64, addr, cycle=i)
+        assert engine.stats.burst_requests == 0
+
+    def test_also_issues_at_commit_prefetches(self, hierarchy):
+        engine = SpbPrefetch(hierarchy, SpbConfig(check_interval=8))
+        self._commit_run(engine, 0, 4)
+        assert engine.stats.prefetches_issued == 4  # one per store
+
+    def test_backward_burst_when_enabled(self, hierarchy):
+        engine = SpbPrefetch(
+            hierarchy, SpbConfig(check_interval=8, backward=True)
+        )
+        # Stores descending one block at a time from the end of a page.
+        page_end = 4096 - 8
+        for i in range(16):
+            addr = page_end - i * 64
+            engine.on_store_committed(addr // 64, addr, cycle=i)
+        assert engine.stats.burst_requests >= 1
+
+    def test_storage_budget_exposed(self, hierarchy):
+        engine = SpbPrefetch(hierarchy, SpbConfig(check_interval=32))
+        assert engine.detector.config.storage_bits == 67
+
+
+class TestOutcomeIntegration:
+    def test_commit_prefetch_tracked(self, hierarchy):
+        engine = AtCommitPrefetch(hierarchy)
+        engine.on_store_committed(1, 64, 0)
+        engine.on_store_performed(1, cycle=10)  # fill still in flight -> late
+        outcomes = engine.tracker.finalize()
+        assert outcomes.late == 1
+
+    def test_success_when_performed_after_fill(self, hierarchy):
+        engine = AtCommitPrefetch(hierarchy)
+        engine.on_store_committed(1, 64, 0)
+        engine.on_store_performed(1, cycle=100_000)
+        assert engine.tracker.finalize().successful == 1

@@ -1,0 +1,151 @@
+"""Tests for the SPB detector (paper §IV)."""
+
+from repro.config.system import SpbConfig
+from repro.core.spb import SpbDetector
+
+
+def feed_words(detector, start_block, words, stores_per_block=8):
+    """Feed contiguous 8-byte stores (``stores_per_block`` per block)."""
+    triggered = []
+    for i in range(words):
+        block = start_block + i // stores_per_block
+        fwd, bwd = detector.observe(block)
+        if fwd or bwd:
+            triggered.append((i, fwd, bwd))
+    return triggered
+
+
+class TestPaperRunningExample:
+    def test_n8_example_from_figure4(self):
+        """The paper's Figure 4: N=8, 8-byte stores; at T8 the counter reads
+        1 == 8/8 and a burst triggers."""
+        detector = SpbDetector(SpbConfig(check_interval=8))
+        # Stores to 0x000..0x038 (block 0) then 0x040 (block 1): deltas are
+        # seven zeros then a one.
+        for addr in range(0x000, 0x040, 8):
+            fwd, _ = detector.observe(addr // 64)
+            assert not fwd
+        fwd, _ = detector.observe(0x040 // 64)  # 8th store closes the window
+        assert fwd
+
+    def test_counter_resets_after_window(self):
+        detector = SpbDetector(SpbConfig(check_interval=8))
+        feed_words(detector, 0, 9)
+        assert detector.counter == 0
+        assert detector.store_count < 8
+
+
+class TestDetection:
+    def test_dense_run_triggers_every_window(self):
+        # A window spans N counted stores plus the closing store (N+1).
+        detector = SpbDetector(SpbConfig(check_interval=48))
+        triggered = feed_words(detector, 0, 49 * 4)
+        assert len(triggered) == 4
+
+    def test_random_blocks_never_trigger(self):
+        import random
+
+        rng = random.Random(3)
+        detector = SpbDetector(SpbConfig(check_interval=48))
+        for _ in range(48 * 10):
+            fwd, bwd = detector.observe(rng.randrange(1 << 20))
+            assert not fwd and not bwd
+
+    def test_strided_stores_never_trigger(self):
+        # Stride of 4 blocks: deltas are 4, never 0/1 -> selective by design.
+        detector = SpbDetector(SpbConfig(check_interval=48))
+        for i in range(48 * 10):
+            fwd, bwd = detector.observe(i * 4)
+            assert not fwd and not bwd
+
+    def test_shuffled_within_block_tolerated(self):
+        """Stores shuffled inside each block still map to deltas of 0/±... 0,
+        so the block-delta detector fires where an address-delta one would
+        not (paper §IV)."""
+        import random
+
+        rng = random.Random(7)
+        detector = SpbDetector(SpbConfig(check_interval=48))
+        triggered = 0
+        for block in range(100):
+            order = list(range(8))
+            rng.shuffle(order)  # 8 stores per block in random order
+            for _ in order:
+                fwd, _ = detector.observe(block)
+                triggered += fwd
+        assert triggered > 0
+
+    def test_interleaved_streams_do_not_trigger(self):
+        # Two far-apart streams alternating: deltas are large both ways.
+        detector = SpbDetector(SpbConfig(check_interval=48))
+        for i in range(48 * 5):
+            block = (i // 2) if i % 2 == 0 else (1 << 16) + i // 2
+            fwd, bwd = detector.observe(block)
+            assert not fwd
+
+    def test_counter_saturates(self):
+        detector = SpbDetector(SpbConfig(check_interval=48))
+        for block in range(40):  # one store per block: 39 consecutive deltas
+            detector.observe(block)
+        assert detector.counter <= detector.config.counter_max
+
+    def test_one_store_per_block_run_triggers(self):
+        # A 64-byte-stride store run is still a contiguous block pattern.
+        detector = SpbDetector(SpbConfig(check_interval=48))
+        triggered = feed_words(detector, 0, 49, stores_per_block=1)
+        assert triggered
+
+
+class TestBackwardVariant:
+    def test_backward_disabled_by_default(self):
+        detector = SpbDetector(SpbConfig(check_interval=8))
+        for i in range(100, 100 - 16, -1):
+            fwd, bwd = detector.observe(i)
+            assert not bwd
+
+    def test_backward_detected_when_enabled(self):
+        detector = SpbDetector(SpbConfig(check_interval=8, backward=True))
+        hits = []
+        for i in range(100, 100 - 32, -1):
+            fwd, bwd = detector.observe(i)
+            hits.append(bwd)
+        assert any(hits)
+        assert detector.stats.backward_bursts_triggered > 0
+
+
+class TestDynamicSizeVariant:
+    def test_adapts_threshold_to_store_size(self):
+        # 16-byte stores: 4 stores per block.  The dynamic variant should
+        # still trigger on a dense run.
+        detector = SpbDetector(SpbConfig(check_interval=48, dynamic_size=True))
+        triggered = feed_words(detector, 0, 48 * 6, stores_per_block=4)
+        assert triggered
+
+    def test_estimate_moves_with_hysteresis(self):
+        detector = SpbDetector(SpbConfig(check_interval=48, dynamic_size=True))
+        initial = detector._size_estimate
+        feed_words(detector, 0, 49, stores_per_block=4)
+        assert detector._size_estimate != initial
+        # Hysteresis: only halfway toward the observation per window.
+        assert detector._size_estimate > 4.0
+
+
+class TestStatsAndReset:
+    def test_stats_counts(self):
+        detector = SpbDetector(SpbConfig(check_interval=8))
+        feed_words(detector, 0, 32)
+        assert detector.stats.stores_observed == 32
+        assert detector.stats.windows_checked == 3  # windows close every N+1
+        assert detector.stats.bursts_triggered >= 2
+        assert 0.0 <= detector.stats.trigger_rate <= 1.0
+
+    def test_reset_clears_state(self):
+        detector = SpbDetector()
+        feed_words(detector, 0, 30)
+        detector.reset()
+        assert detector.last_block is None
+        assert detector.counter == 0
+        assert detector.store_count == 0
+
+    def test_trigger_rate_zero_without_windows(self):
+        assert SpbDetector().stats.trigger_rate == 0.0

@@ -1,0 +1,116 @@
+"""Tests for the TSO store buffer."""
+
+import pytest
+
+from repro.core.store_buffer import StoreBuffer, StoreBufferEntry
+
+
+def entry(block, pc=0x10, cycle=0):
+    return StoreBufferEntry(block=block, addr=block * 64, size=8, pc=pc,
+                            commit_cycle=cycle)
+
+
+class TestFifoOrder:
+    def test_drains_in_program_order(self):
+        sb = StoreBuffer(8)
+        for block in (3, 1, 2):
+            sb.push(entry(block))
+        assert [sb.pop().block for _ in range(3)] == [3, 1, 2]
+
+    def test_head_peeks_without_removing(self):
+        sb = StoreBuffer(8)
+        sb.push(entry(5))
+        assert sb.head().block == 5
+        assert len(sb) == 1
+
+    def test_head_empty_is_none(self):
+        assert StoreBuffer(8).head() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            StoreBuffer(8).pop()
+
+
+class TestCapacity:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            StoreBuffer(0)
+
+    def test_full_at_capacity(self):
+        sb = StoreBuffer(2)
+        sb.push(entry(1))
+        sb.push(entry(2))
+        assert sb.is_full
+
+    def test_push_when_full_raises(self):
+        sb = StoreBuffer(1)
+        sb.push(entry(1))
+        with pytest.raises(OverflowError):
+            sb.push(entry(2))
+        assert sb.stats.full_events == 1
+
+    def test_unbounded_never_full(self):
+        sb = StoreBuffer(1, unbounded=True)
+        for block in range(100):
+            sb.push(entry(block))
+        assert not sb.is_full
+        assert len(sb) == 100
+
+    def test_drain_frees_capacity(self):
+        sb = StoreBuffer(1)
+        sb.push(entry(1))
+        sb.pop()
+        sb.push(entry(2))  # no exception
+        assert len(sb) == 1
+
+
+class TestCamSearch:
+    def test_forwarding_hit(self):
+        sb = StoreBuffer(8)
+        sb.push(entry(7))
+        assert sb.forwards(7)
+        assert not sb.forwards(8)
+        assert sb.stats.cam_searches == 2
+        assert sb.stats.forwarding_hits == 1
+
+    def test_forwarding_after_partial_drain(self):
+        sb = StoreBuffer(8)
+        sb.push(entry(7))
+        sb.push(entry(7))
+        sb.pop()
+        assert sb.forwards(7)  # one store to block 7 remains
+        sb.pop()
+        assert not sb.forwards(7)
+
+    def test_buffered_blocks_deduplicated_in_order(self):
+        sb = StoreBuffer(8)
+        for block in (3, 3, 1, 3, 2):
+            sb.push(entry(block))
+        assert sb.buffered_blocks() == [3, 1, 2]
+
+
+class TestOccupancyStats:
+    def test_mean_occupancy(self):
+        sb = StoreBuffer(8)
+        sb.sample_occupancy()  # 0
+        sb.push(entry(1))
+        sb.sample_occupancy()  # 1
+        sb.push(entry(2))
+        sb.sample_occupancy(weight=2)  # 2, counted twice
+        assert sb.stats.occupancy_samples == 4
+        assert sb.stats.mean_occupancy == (0 + 1 + 4) / 4
+
+    def test_max_occupancy(self):
+        sb = StoreBuffer(8)
+        for block in range(5):
+            sb.push(entry(block))
+        for _ in range(5):
+            sb.pop()
+        assert sb.stats.max_occupancy == 5
+
+    def test_push_drain_counters(self):
+        sb = StoreBuffer(8)
+        sb.push(entry(1))
+        sb.pop()
+        assert sb.stats.pushes == 1
+        assert sb.stats.drains == 1

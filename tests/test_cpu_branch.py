@@ -1,0 +1,158 @@
+"""Tests for the branch predictor models."""
+
+import random
+
+import pytest
+
+from repro.cpu.branch import (
+    BimodalPredictor,
+    GsharePredictor,
+    TagePredictor,
+    TraceAnnotatedPredictor,
+    build_branch_predictor,
+)
+
+
+def run_pattern(predictor, pattern, pc=0x40, repeats=50):
+    """Feed a repeating direction pattern; return the mispredict rate of the
+    final quarter (after warm-up)."""
+    outcomes = []
+    for _ in range(repeats):
+        for taken in pattern:
+            predicted = predictor.predict(pc)
+            outcomes.append(predicted != taken)
+            predictor.update(pc, taken)
+    tail = outcomes[3 * len(outcomes) // 4:]
+    return sum(tail) / len(tail)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("trace", TraceAnnotatedPredictor),
+            ("bimodal", BimodalPredictor),
+            ("gshare", GsharePredictor),
+            ("tage", TagePredictor),
+        ],
+    )
+    def test_builds(self, name, cls):
+        assert isinstance(build_branch_predictor(name), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            build_branch_predictor("oracle")
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        assert run_pattern(BimodalPredictor(), [True]) == 0.0
+
+    def test_learns_always_not_taken(self):
+        assert run_pattern(BimodalPredictor(), [False]) == 0.0
+
+    def test_fails_on_alternating(self):
+        # A pattern with no per-PC bias defeats bimodal.
+        rate = run_pattern(BimodalPredictor(), [True, False])
+        assert rate >= 0.45
+
+
+class TestGshare:
+    def test_learns_alternating_via_history(self):
+        rate = run_pattern(GsharePredictor(), [True, False])
+        assert rate < 0.05
+
+    def test_learns_short_loop_pattern(self):
+        # taken x3, not-taken once (a 4-iteration inner loop).
+        rate = run_pattern(GsharePredictor(), [True, True, True, False])
+        assert rate < 0.05
+
+    def test_independent_branches_do_not_interfere_much(self):
+        predictor = GsharePredictor()
+        rate_a = run_pattern(predictor, [True], pc=0x100)
+        rate_b = run_pattern(predictor, [False], pc=0x2000)
+        assert rate_a < 0.05 and rate_b < 0.05
+
+
+class TestTage:
+    def test_learns_biased_branch(self):
+        assert run_pattern(TagePredictor(), [True]) == 0.0
+
+    def test_learns_long_period_pattern(self):
+        # Period-12 pattern: needs real history, not just bias.
+        pattern = [True] * 11 + [False]
+        rate = run_pattern(TagePredictor(), pattern, repeats=100)
+        assert rate < 0.10
+
+    def test_beats_bimodal_on_history_patterns(self):
+        pattern = [True, True, False, True, False, False]
+        tage = run_pattern(TagePredictor(), pattern, repeats=100)
+        bimodal = run_pattern(BimodalPredictor(), pattern, repeats=100)
+        assert tage < bimodal
+
+    def test_random_stream_near_half(self):
+        rng = random.Random(5)
+        predictor = TagePredictor()
+        wrong = 0
+        trials = 2000
+        for _ in range(trials):
+            taken = rng.random() < 0.5
+            wrong += predictor.predict(0x80) != taken
+            predictor.update(0x80, taken)
+        assert 0.35 < wrong / trials < 0.65
+
+    def test_stats_track_rate(self):
+        predictor = TagePredictor()
+        for taken in (True, False, True, False):
+            predicted = predictor.predict(0x10)
+            predictor.record(predicted, taken)
+            predictor.update(0x10, taken)
+        assert predictor.stats.predictions == 4
+        assert 0.0 <= predictor.stats.mispredict_rate <= 1.0
+
+
+class TestPipelineIntegration:
+    def _config(self, predictor):
+        from dataclasses import replace
+
+        from repro import SystemConfig
+
+        config = SystemConfig.skylake()
+        return replace(config, core=replace(config.core,
+                                            branch_predictor=predictor))
+
+    def test_loop_branches_predicted_well(self):
+        """Pure loop code (all back-edges taken) is near-perfectly predicted
+        by a real predictor model."""
+        from repro import simulate
+        from repro.isa.trace import Trace
+        from repro.workloads.kernels import memcpy_kernel
+
+        builder = memcpy_kernel(16 * 1024, dst_base=1 << 30,
+                                src_base=(1 << 30) + (1 << 22), pc_base=0x100)
+        result = simulate(Trace(builder.ops), self._config("tage"))
+        stats = result.pipeline
+        rate = stats.mispredicted_branches / max(1, stats.committed_branches)
+        assert rate < 0.01
+
+    def test_branchy_workload_harder(self):
+        from repro import simulate, spec2017
+
+        trace = spec2017("leela", length=20_000)  # coin-flip search branches
+        easy = simulate(spec2017("bwaves", length=20_000), self._config("tage"))
+        hard = simulate(trace, self._config("tage"))
+        easy_rate = easy.pipeline.mispredicted_branches / max(
+            1, easy.pipeline.committed_branches
+        )
+        hard_rate = hard.pipeline.mispredicted_branches / max(
+            1, hard.pipeline.committed_branches
+        )
+        assert hard_rate > easy_rate
+
+    def test_trace_mode_uses_annotations(self):
+        from repro import simulate, spec2017
+
+        trace = spec2017("leela", length=10_000)
+        result = simulate(trace, self._config("trace"))
+        annotated = trace.stats().mispredicted_branches
+        assert result.pipeline.mispredicted_branches == annotated

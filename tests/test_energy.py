@@ -1,0 +1,78 @@
+"""Tests for the McPAT-style energy model."""
+
+from repro import SystemConfig, simulate, spec2017
+from repro.energy.model import ENERGY_PARAMS_22NM, EnergyBreakdown, EnergyModel
+
+
+def _result(policy="at-commit", sb=56, app="bwaves", length=20_000):
+    cfg = SystemConfig.skylake(sb_entries=sb, store_prefetch=policy)
+    return simulate(spec2017(app, length=length), cfg)
+
+
+class TestBreakdownArithmetic:
+    def test_totals(self):
+        breakdown = EnergyBreakdown(
+            cache_dynamic_j=1.0, core_dynamic_j=2.0, static_j=3.0
+        )
+        assert breakdown.dynamic_j == 3.0
+        assert breakdown.total_j == 6.0
+
+    def test_normalization(self):
+        a = EnergyBreakdown(1.0, 2.0, 3.0)
+        b = EnergyBreakdown(2.0, 2.0, 3.0)
+        norm = b.normalized_to(a)
+        assert norm["cache_dynamic"] == 2.0
+        assert norm["core_dynamic"] == 1.0
+        assert norm["total"] == 7.0 / 6.0
+
+    def test_normalize_against_zero_is_zero(self):
+        zero = EnergyBreakdown(0.0, 0.0, 0.0)
+        assert EnergyBreakdown(1.0, 1.0, 1.0).normalized_to(zero)["total"] == 0.0
+
+
+class TestEnergyEvaluation:
+    def test_all_components_positive(self):
+        energy = _result().energy
+        assert energy.cache_dynamic_j > 0
+        assert energy.core_dynamic_j > 0
+        assert energy.static_j > 0
+
+    def test_static_proportional_to_cycles(self):
+        fast = _result(policy="ideal", sb=1024)
+        slow = _result(policy="none")
+        ratio = slow.energy.static_j / fast.energy.static_j
+        assert abs(ratio - slow.cycles / fast.cycles) < 1e-9
+
+    def test_spb_saves_total_energy_at_small_sb(self):
+        # Figure 7: SPB's net energy savings grow as the SB shrinks.
+        at_commit = _result(policy="at-commit", sb=14)
+        spb = _result(policy="spb", sb=14)
+        assert spb.energy.total_j < at_commit.energy.total_j
+
+    def test_spb_increases_prefetch_traffic_slightly(self):
+        at_commit = _result(policy="at-commit", sb=14)
+        spb = _result(policy="spb", sb=14)
+        assert (
+            spb.traffic.cpu_store_prefetch_requests
+            > at_commit.traffic.cpu_store_prefetch_requests
+        )
+
+    def test_detector_energy_negligible(self):
+        spb = _result(policy="spb", sb=14)
+        detector_j = (
+            spb.detector_stats.stores_observed
+            * ENERGY_PARAMS_22NM.spb_detector_nj * 1e-9
+        )
+        assert detector_j < 0.01 * spb.energy.core_dynamic_j
+
+    def test_custom_params(self):
+        result = _result()
+        doubled = EnergyModel(
+            ENERGY_PARAMS_22NM.__class__(
+                **{
+                    **ENERGY_PARAMS_22NM.__dict__,
+                    "leakage_w": 2 * ENERGY_PARAMS_22NM.leakage_w,
+                }
+            )
+        ).evaluate(result)
+        assert abs(doubled.static_j - 2 * result.energy.static_j) < 1e-12

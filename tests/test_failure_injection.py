@@ -1,0 +1,146 @@
+"""Failure-injection and adversarial-input tests.
+
+The simulator must behave sanely on degenerate machines and hostile traces:
+tiny structures, extreme latencies, pathological access patterns.  These
+runs mostly assert termination and conservation invariants.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import SystemConfig, simulate
+from repro.config import CacheConfig, CacheHierarchyConfig, CoreConfig
+from repro.isa.trace import Trace
+from repro.isa.uop import MicroOp, OpKind
+
+from tests.conftest import make_store_run
+
+
+def run(ops, config=None):
+    return simulate(Trace(ops), config or SystemConfig())
+
+
+class TestDegenerateMachines:
+    def test_one_entry_everything(self):
+        core = CoreConfig(
+            width=1, rob_entries=1, issue_queue_entries=1,
+            load_queue_entries=1, store_buffer_entries=1,
+        )
+        config = SystemConfig(core=core)
+        result = run(make_store_run(0x1000, 32), config)
+        assert result.pipeline.committed_uops == 32
+
+    def test_single_mshr(self):
+        caches = CacheHierarchyConfig(
+            l1d=CacheConfig("L1D", 32 * 1024, 8, latency=4, mshr_entries=1)
+        )
+        config = replace(SystemConfig(), caches=caches)
+        ops = [
+            MicroOp(OpKind.LOAD, pc=i, addr=(1 << 24) + 64 * i, size=8)
+            for i in range(64)
+        ]
+        result = run(ops, config)
+        assert result.pipeline.committed_loads == 64
+
+    def test_direct_mapped_tiny_l1(self):
+        caches = CacheHierarchyConfig(
+            l1d=CacheConfig("L1D", 4 * 1024, 1, latency=4)
+        )
+        config = replace(SystemConfig(), caches=caches)
+        result = run(make_store_run(0x1000, 256), config)
+        assert result.pipeline.committed_stores == 256
+
+    def test_enormous_dram_latency(self):
+        caches = CacheHierarchyConfig(dram_latency=100_000)
+        config = replace(SystemConfig(), caches=caches)
+        result = run(make_store_run(0x100000, 16), config)
+        assert result.cycles > 100_000
+
+    def test_zero_latency_like_hierarchy(self):
+        caches = CacheHierarchyConfig(
+            l1d=CacheConfig("L1D", 32 * 1024, 8, latency=1),
+            l2=CacheConfig("L2", 1024 * 1024, 16, latency=1),
+            l3=CacheConfig("L3", 16 * 1024 * 1024, 16, latency=1),
+            dram_latency=1,
+            tlb_walk_latency=0,
+        )
+        config = replace(SystemConfig(), caches=caches)
+        result = run(make_store_run(0x1000, 128), config)
+        assert result.pipeline.sb_stall_cycles == 0 or result.cycles > 0
+
+
+class TestHostileTraces:
+    def test_every_op_mispredicted(self):
+        ops = [
+            MicroOp(OpKind.BRANCH, pc=i, mispredicted=True, taken=True)
+            for i in range(200)
+        ]
+        result = run(ops)
+        assert result.pipeline.committed_branches == 200
+        assert result.pipeline.mispredicted_branches == 200
+
+    def test_all_stores_same_address(self):
+        ops = [MicroOp(OpKind.STORE, pc=1, addr=0x4000, size=8)] * 500
+        result = run(ops)
+        assert result.pipeline.committed_stores == 500
+        # One miss, then every store hits the owned block.
+        assert result.l1_stats.misses <= 3
+
+    def test_alternating_pages(self):
+        # Stores ping-ponging between two pages: SPB must never trigger
+        # (deltas are +-64 blocks) and the run must finish.
+        ops = []
+        for i in range(400):
+            addr = (i % 2) * 4096 + (i // 2 % 512) * 8
+            ops.append(MicroOp(OpKind.STORE, pc=1, addr=addr, size=8))
+        result = simulate(Trace(ops), SystemConfig().with_policy("spb"))
+        assert result.detector_stats.bursts_triggered == 0
+
+    def test_descending_store_run_default_spb(self):
+        # Backward runs must not trigger forward bursts.
+        ops = [
+            MicroOp(OpKind.STORE, pc=1, addr=(1 << 20) - 64 * i, size=8)
+            for i in range(256)
+        ]
+        result = simulate(Trace(ops), SystemConfig().with_policy("spb"))
+        assert result.detector_stats.bursts_triggered == 0
+
+    def test_giant_dependency_distance(self):
+        ops = [MicroOp(OpKind.INT_ALU, pc=i, dep_distance=10_000)
+               for i in range(100)]
+        result = run(ops)  # distances beyond trace start are ignored
+        assert result.pipeline.committed_uops == 100
+
+    def test_load_storm_beyond_lq(self):
+        ops = [
+            MicroOp(OpKind.LOAD, pc=i, addr=(1 << 26) + 64 * i, size=8)
+            for i in range(500)
+        ]
+        result = run(ops)
+        assert result.pipeline.committed_loads == 500
+        assert result.pipeline.stalls.load_queue_full > 0
+
+
+class TestConservationInvariants:
+    @pytest.mark.parametrize("policy", ["none", "at-execute", "at-commit",
+                                        "spb", "ideal"])
+    def test_stores_pushed_equals_drained(self, policy):
+        config = SystemConfig().with_policy(policy)
+        result = run(make_store_run(0x8000, 300), config)
+        sb = result.sb_stats
+        assert sb.pushes == 300
+        assert sb.drains + sb.coalesced == sb.pushes
+
+    def test_cycle_counters_consistent(self):
+        result = run(make_store_run(0x8000, 300))
+        pipe = result.pipeline
+        assert pipe.sb_stall_cycles <= pipe.cycles
+        assert pipe.exec_stall_l1d_pending <= pipe.cycles
+        assert pipe.stalls.total <= pipe.cycles * 2  # dispatch + commit views
+
+    def test_traffic_counters_non_negative(self):
+        result = run(make_store_run(0x8000, 100),
+                     SystemConfig().with_policy("spb"))
+        for field in vars(result.traffic).values():
+            assert field >= 0

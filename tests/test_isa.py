@@ -1,0 +1,108 @@
+"""Tests for the micro-op and trace model."""
+
+import pytest
+
+from repro.isa.trace import Trace
+from repro.isa.uop import OP_LATENCIES, MicroOp, OpKind
+
+
+class TestMicroOp:
+    def test_store_properties(self):
+        op = MicroOp(OpKind.STORE, pc=0x10, addr=0x1000, size=8)
+        assert op.is_store and op.is_memory
+        assert not op.is_load and not op.is_branch
+
+    def test_load_properties(self):
+        op = MicroOp(OpKind.LOAD, pc=0x10, addr=0x1000, size=8)
+        assert op.is_load and op.is_memory
+
+    def test_alu_is_not_memory(self):
+        assert not MicroOp(OpKind.INT_ALU).is_memory
+
+    def test_block_number(self):
+        op = MicroOp(OpKind.STORE, addr=0x1038, size=8)
+        assert op.block() == 0x1038 // 64
+        assert op.block(128) == 0x1038 // 128
+
+    def test_memory_op_requires_size(self):
+        with pytest.raises(ValueError):
+            MicroOp(OpKind.LOAD, addr=0x1000)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MicroOp(OpKind.STORE, addr=-8, size=8)
+
+    def test_negative_dep_rejected(self):
+        with pytest.raises(ValueError):
+            MicroOp(OpKind.INT_ALU, dep_distance=-1)
+
+    def test_table1_instruction_latencies(self):
+        # Table I: int add 1, mul 4, div 22; fp add 5, mul 5, div 22.
+        assert OP_LATENCIES[OpKind.INT_ALU] == 1
+        assert OP_LATENCIES[OpKind.INT_MUL] == 4
+        assert OP_LATENCIES[OpKind.INT_DIV] == 22
+        assert OP_LATENCIES[OpKind.FP_ALU] == 5
+        assert OP_LATENCIES[OpKind.FP_DIV] == 22
+
+    def test_latency_property_matches_table(self):
+        assert MicroOp(OpKind.INT_MUL).latency == 4
+
+
+class TestTrace:
+    def _ops(self):
+        return [
+            MicroOp(OpKind.LOAD, pc=1, addr=0x100, size=8),
+            MicroOp(OpKind.STORE, pc=2, addr=0x200, size=8),
+            MicroOp(OpKind.BRANCH, pc=3, mispredicted=True),
+            MicroOp(OpKind.INT_ALU, pc=4),
+        ]
+
+    def test_len_and_iteration(self):
+        trace = Trace(self._ops())
+        assert len(trace) == 4
+        assert [op.pc for op in trace] == [1, 2, 3, 4]
+
+    def test_indexing(self):
+        trace = Trace(self._ops())
+        assert trace[1].is_store
+
+    def test_stats_counts(self):
+        stats = Trace(self._ops()).stats()
+        assert stats.total == 4
+        assert stats.loads == 1
+        assert stats.stores == 1
+        assert stats.branches == 1
+        assert stats.mispredicted_branches == 1
+
+    def test_stats_fractions(self):
+        stats = Trace(self._ops()).stats()
+        assert stats.store_fraction == 0.25
+        assert stats.load_fraction == 0.25
+
+    def test_stats_distinct_blocks_and_pages(self):
+        ops = [
+            MicroOp(OpKind.STORE, addr=a, size=8)
+            for a in (0x0, 0x8, 0x40, 0x2000)
+        ]
+        stats = Trace(ops).stats()
+        assert stats.distinct_store_blocks == 3
+        assert stats.distinct_store_pages == 2
+
+    def test_region_annotation(self):
+        trace = Trace(self._ops(), regions={1: "memcpy"})
+        assert trace.region_of(1) == "memcpy"
+        assert trace.region_of(2) == "app"  # default
+
+    def test_concat_merges_regions(self):
+        a = Trace(self._ops(), name="a", regions={1: "memcpy"})
+        b = Trace(self._ops(), name="b", regions={2: "memset"})
+        merged = a.concat(b)
+        assert len(merged) == 8
+        assert merged.region_of(1) == "memcpy"
+        assert merged.region_of(2) == "memset"
+        assert merged.name == "a+b"
+
+    def test_empty_trace_stats(self):
+        stats = Trace([]).stats()
+        assert stats.total == 0
+        assert stats.store_fraction == 0.0

@@ -1,0 +1,71 @@
+"""Tests for address/block/page arithmetic."""
+
+from repro.memory.block import (
+    block_addr,
+    block_of,
+    blocks_preceding_in_page,
+    blocks_remaining_in_page,
+    page_of,
+)
+
+
+class TestBlockArithmetic:
+    def test_block_of(self):
+        assert block_of(0) == 0
+        assert block_of(63) == 0
+        assert block_of(64) == 1
+        assert block_of(0x1038) == 0x1038 // 64
+
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(4095) == 0
+        assert page_of(4096) == 1
+
+    def test_block_addr_roundtrip(self):
+        assert block_of(block_addr(17)) == 17
+
+
+class TestBurstTargets:
+    """The block sets an SPB burst requests (stops at the page boundary)."""
+
+    def test_remaining_from_page_start(self):
+        blocks = blocks_remaining_in_page(0)
+        assert blocks == list(range(1, 64))
+
+    def test_remaining_from_mid_page(self):
+        # Address in block 6 of page 0: burst covers blocks 7..63.
+        blocks = blocks_remaining_in_page(6 * 64 + 8)
+        assert blocks == list(range(7, 64))
+
+    def test_remaining_from_last_block_is_empty(self):
+        assert blocks_remaining_in_page(4096 - 8) == []
+
+    def test_never_crosses_page_boundary(self):
+        # Footnote 2 of the paper: consecutive virtual pages need not map to
+        # consecutive physical pages, so the burst must stop at the boundary.
+        for addr in (0, 100, 4000, 8192 + 4000):
+            page = page_of(addr)
+            for block in blocks_remaining_in_page(addr):
+                assert page_of(block * 64) == page
+
+    def test_second_page_offsets(self):
+        blocks = blocks_remaining_in_page(4096)
+        assert blocks[0] == 65
+        assert blocks[-1] == 127
+
+    def test_preceding_from_page_end(self):
+        blocks = blocks_preceding_in_page(4096 - 8)
+        assert blocks == list(range(62, -1, -1))
+
+    def test_preceding_from_page_start_is_empty(self):
+        assert blocks_preceding_in_page(0) == []
+
+    def test_preceding_never_crosses_page_boundary(self):
+        for addr in (4096, 4096 + 100, 8192 + 64):
+            page = page_of(addr)
+            for block in blocks_preceding_in_page(addr):
+                assert page_of(block * 64) == page
+
+    def test_custom_block_and_page_sizes(self):
+        blocks = blocks_remaining_in_page(0, block_bytes=128, page_bytes=1024)
+        assert blocks == list(range(1, 8))

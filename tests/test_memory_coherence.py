@@ -1,0 +1,121 @@
+"""Tests for the MESI directory."""
+
+import pytest
+
+from repro.memory.coherence import Directory, MESIState, WRITABLE_STATES
+
+
+class TestStates:
+    def test_writable_states(self):
+        assert MESIState.M in WRITABLE_STATES
+        assert MESIState.E in WRITABLE_STATES
+        assert MESIState.S not in WRITABLE_STATES
+        assert MESIState.I not in WRITABLE_STATES
+
+
+class TestGetX:
+    def test_first_getx_grants_ownership(self):
+        directory = Directory(num_cores=2)
+        extra, invalidate = directory.handle_getx(0, block=7)
+        assert extra == 0
+        assert invalidate == frozenset()
+        assert directory.owner_of(7) == 0
+
+    def test_getx_invalidates_other_owner(self):
+        directory = Directory(num_cores=2)
+        directory.handle_getx(0, 7)
+        extra, invalidate = directory.handle_getx(1, 7)
+        assert invalidate == frozenset({0})
+        assert extra == directory.remote_hop_latency
+        assert directory.owner_of(7) == 1
+
+    def test_getx_invalidates_all_sharers(self):
+        directory = Directory(num_cores=4)
+        for core in (0, 1, 2):
+            directory.handle_gets(core, 7)
+        extra, invalidate = directory.handle_getx(3, 7)
+        assert invalidate == frozenset({0, 1, 2})
+        assert directory.owner_of(7) == 3
+        assert directory.sharers_of(7) == frozenset()
+
+    def test_getx_by_owner_invalidates_nobody(self):
+        directory = Directory(num_cores=2)
+        directory.handle_getx(0, 7)
+        extra, invalidate = directory.handle_getx(0, 7)
+        assert invalidate == frozenset()
+        assert extra == 0
+
+    def test_prefetch_getx_counted_separately(self):
+        directory = Directory(num_cores=1)
+        directory.handle_getx(0, 1, prefetch=True)
+        directory.handle_getx(0, 2)
+        assert directory.stats.prefetch_getx_requests == 1
+        assert directory.stats.getx_requests == 1
+
+
+class TestGetS:
+    def test_sole_reader_becomes_exclusive(self):
+        directory = Directory(num_cores=2)
+        extra, downgrade = directory.handle_gets(0, 7)
+        assert downgrade is None
+        assert directory.owner_of(7) == 0  # E grant
+
+    def test_second_reader_downgrades_owner(self):
+        directory = Directory(num_cores=2)
+        directory.handle_getx(0, 7)
+        extra, downgrade = directory.handle_gets(1, 7)
+        assert downgrade == 0
+        assert extra == directory.remote_hop_latency
+        assert directory.owner_of(7) is None
+        assert directory.sharers_of(7) == frozenset({0, 1})
+
+    def test_owner_rereading_keeps_ownership(self):
+        directory = Directory(num_cores=2)
+        directory.handle_getx(0, 7)
+        extra, downgrade = directory.handle_gets(0, 7)
+        assert downgrade is None
+        assert directory.owner_of(7) == 0
+
+
+class TestEviction:
+    def test_owner_eviction_clears_entry(self):
+        directory = Directory(num_cores=2)
+        directory.handle_getx(0, 7)
+        directory.handle_eviction(0, 7, MESIState.M)
+        assert directory.owner_of(7) is None
+        assert directory.tracked_blocks() == 0
+        assert directory.stats.writebacks == 1
+
+    def test_sharer_eviction_keeps_others(self):
+        directory = Directory(num_cores=3)
+        directory.handle_gets(0, 7)
+        directory.handle_gets(1, 7)
+        directory.handle_eviction(0, 7, MESIState.S)
+        assert directory.sharers_of(7) == frozenset({1})
+        assert directory.tracked_blocks() == 1
+
+    def test_eviction_of_untracked_block_is_noop(self):
+        directory = Directory(num_cores=1)
+        directory.handle_eviction(0, 99, MESIState.S)
+        assert directory.tracked_blocks() == 0
+
+
+class TestInvariants:
+    def test_never_owner_and_sharers_simultaneously(self):
+        directory = Directory(num_cores=4)
+        operations = [
+            ("getx", 0), ("gets", 1), ("gets", 2), ("getx", 3),
+            ("gets", 0), ("getx", 1),
+        ]
+        for kind, core in operations:
+            if kind == "getx":
+                directory.handle_getx(core, 7)
+            else:
+                directory.handle_gets(core, 7)
+            owner = directory.owner_of(7)
+            sharers = directory.sharers_of(7)
+            assert owner is None or not sharers
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            Directory(0)

@@ -1,0 +1,123 @@
+"""Tests for the MSHR file: coalescing, priority and queueing."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestBasics:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_allocate_returns_completion(self):
+        mshr = MSHRFile(4)
+        assert mshr.allocate(1, cycle=10, service_latency=50) == 60
+
+    def test_outstanding_counts_in_flight(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(1, 0, 50)
+        mshr.allocate(2, 0, 50)
+        assert mshr.outstanding(10) == 2
+        assert mshr.outstanding(100) == 0
+
+    def test_in_flight_lookup(self):
+        mshr = MSHRFile(4)
+        done = mshr.allocate(1, 0, 50)
+        assert mshr.in_flight(1, 10) == done
+        assert mshr.in_flight(1, done) is None
+        assert mshr.in_flight(2, 10) is None
+
+
+class TestCoalescing:
+    def test_same_block_coalesces(self):
+        mshr = MSHRFile(4)
+        first = mshr.allocate(1, 0, 50)
+        second = mshr.allocate(1, 5, 50)
+        assert second == first
+        assert mshr.stats.coalesced == 1
+        assert mshr.outstanding(10) == 1
+
+    def test_retired_entry_does_not_coalesce(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(1, 0, 50)
+        fresh = mshr.allocate(1, 100, 50)
+        assert fresh == 150
+        assert mshr.stats.coalesced == 0
+
+
+class TestDemandQueueing:
+    def test_demand_waits_only_on_demand(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(1, 0, 100, prefetch=True)
+        mshr.allocate(2, 0, 100, prefetch=True)
+        # File is full of prefetches, but demand bypasses them.
+        assert mshr.allocate(3, 0, 50) == 50
+        assert mshr.stats.full_delays == 0
+
+    def test_demand_full_queues_behind_earliest_demand(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(1, 0, 100)
+        mshr.allocate(2, 0, 200)
+        done = mshr.allocate(3, 0, 50)
+        assert done == 150  # starts when block 1's entry retires at 100
+        assert mshr.stats.full_delays == 1
+        assert mshr.stats.total_delay_cycles == 100
+
+
+class TestPrefetchQueueing:
+    def test_prefetch_waits_on_everything(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(1, 0, 100)
+        mshr.allocate(2, 0, 200, prefetch=True)
+        done = mshr.allocate(3, 0, 50, prefetch=True)
+        assert done == 150  # queues behind the earliest of either kind
+        assert mshr.stats.full_delays == 1
+
+    def test_prefetch_counter(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(1, 0, 10, prefetch=True)
+        mshr.allocate(2, 0, 10)
+        assert mshr.stats.prefetch_allocations == 1
+        assert mshr.stats.allocations == 1
+
+
+class TestPromotion:
+    def test_demand_promotes_queued_prefetch(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(1, 0, 100)  # occupies the single entry until 100
+        queued = mshr.allocate(2, 0, 50, prefetch=True)
+        assert queued == 150  # start delayed to 100
+        promoted = mshr.promote(2, cycle=10)
+        assert promoted == 60  # restarted at demand priority at cycle 10
+        assert mshr.stats.promotions == 1
+
+    def test_promote_started_prefetch_is_noop(self):
+        mshr = MSHRFile(4)
+        done = mshr.allocate(1, 0, 50, prefetch=True)  # starts immediately
+        assert mshr.promote(1, cycle=10) == done
+        assert mshr.stats.promotions == 0
+
+    def test_promote_absent_block_returns_none(self):
+        assert MSHRFile(4).promote(9, cycle=0) is None
+
+    def test_demand_allocate_promotes_implicitly(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(1, 0, 100)
+        mshr.allocate(2, 0, 50, prefetch=True)  # queued to start at 100
+        done = mshr.allocate(2, 10, 50)  # demand touch
+        assert done == 60
+
+
+class TestWouldDelay:
+    def test_prefetch_sees_full_file(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(1, 0, 100, prefetch=True)
+        assert mshr.would_delay(10, prefetch=True)
+        assert not mshr.would_delay(10)  # demand path is free
+
+    def test_clears_after_retirement(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(1, 0, 100)
+        assert mshr.would_delay(10)
+        assert not mshr.would_delay(200)

@@ -1,0 +1,119 @@
+"""Tests for the pluggable cache replacement policies."""
+
+import pytest
+
+from repro.config.cache import CacheConfig
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.coherence import MESIState
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    SRRIPPolicy,
+    build_replacement_policy,
+)
+
+
+def cache_with(policy_name, assoc=2, sets=1):
+    return SetAssociativeCache(
+        CacheConfig("T", sets * assoc * 64, assoc, latency=1,
+                    replacement=policy_name)
+    )
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lru", LRUPolicy), ("fifo", FIFOPolicy),
+         ("random", RandomPolicy), ("srrip", SRRIPPolicy)],
+    )
+    def test_builds_by_name(self, name, cls):
+        assert isinstance(build_replacement_policy(name), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            build_replacement_policy("belady")
+
+    def test_config_carries_policy(self):
+        cache = cache_with("srrip")
+        assert cache.policy.name == "srrip"
+
+
+class TestLru:
+    def test_hit_refreshes(self):
+        cache = cache_with("lru")
+        cache.insert(0, MESIState.E, cycle=0)
+        cache.insert(1, MESIState.E, cycle=1)
+        cache.lookup(0, cycle=2)
+        victim = cache.insert(2, MESIState.E, cycle=3)
+        assert victim[0] == 1
+
+
+class TestFifo:
+    def test_hit_does_not_refresh(self):
+        cache = cache_with("fifo")
+        cache.insert(0, MESIState.E, cycle=0)
+        cache.insert(1, MESIState.E, cycle=1)
+        cache.lookup(0, cycle=2)  # touch the oldest — FIFO ignores it
+        victim = cache.insert(2, MESIState.E, cycle=3)
+        assert victim[0] == 0
+
+
+class TestSrrip:
+    def test_unreferenced_line_evicted_first(self):
+        cache = cache_with("srrip")
+        cache.insert(0, MESIState.E, cycle=0)
+        cache.insert(1, MESIState.E, cycle=1)
+        cache.lookup(0, cycle=2)  # RRPV(0) -> 0, RRPV(1) stays 2
+        victim = cache.insert(2, MESIState.E, cycle=3)
+        assert victim[0] == 1
+
+    def test_ageing_terminates(self):
+        cache = cache_with("srrip", assoc=4)
+        for block in range(4):
+            cache.insert(block, MESIState.E, cycle=block)
+            cache.lookup(block, cycle=10 + block)  # all at RRPV 0
+        victim = cache.insert(9, MESIState.E, cycle=20)
+        assert victim is not None  # ageing found a victim
+
+
+class TestRandom:
+    def test_deterministic_for_same_state(self):
+        a = cache_with("random", assoc=4)
+        b = cache_with("random", assoc=4)
+        for block in range(4):
+            a.insert(block, MESIState.E, cycle=block)
+            b.insert(block, MESIState.E, cycle=block)
+        va = a.insert(10, MESIState.E, cycle=9)
+        vb = b.insert(10, MESIState.E, cycle=9)
+        assert va == vb
+
+    def test_victim_is_resident(self):
+        cache = cache_with("random", assoc=4)
+        for block in range(4):
+            cache.insert(block, MESIState.E, cycle=block)
+        victim = cache.insert(10, MESIState.E, cycle=5)
+        assert victim[0] in range(4)
+
+
+class TestPolicyInteroperability:
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random", "srrip"])
+    def test_occupancy_invariant_holds(self, name):
+        cache = cache_with(name, assoc=4, sets=2)
+        for block in range(64):
+            cache.insert(block, MESIState.E, cycle=block)
+        assert cache.occupancy() <= 8
+
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random", "srrip"])
+    def test_end_to_end_simulation_runs(self, name):
+        from dataclasses import replace
+
+        from repro import SystemConfig, simulate, spec2017
+        from repro.config.cache import CacheHierarchyConfig
+
+        caches = CacheHierarchyConfig(
+            l1d=CacheConfig("L1D", 32 * 1024, 8, latency=4, replacement=name)
+        )
+        config = replace(SystemConfig.skylake(), caches=caches)
+        result = simulate(spec2017("gcc", length=5_000), config)
+        assert result.pipeline.committed_uops == 5_000

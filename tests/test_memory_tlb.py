@@ -1,0 +1,112 @@
+"""Tests for the data TLB (Table I: 8-way, 1 KB)."""
+
+import pytest
+
+from repro.config.cache import CacheHierarchyConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.tlb import TLB
+
+
+class TestTranslate:
+    def test_first_touch_misses(self):
+        tlb = TLB(walk_latency=50)
+        assert tlb.translate(7, cycle=0) == 50
+        assert tlb.stats.misses == 1
+
+    def test_second_touch_hits(self):
+        tlb = TLB(walk_latency=50)
+        tlb.translate(7, cycle=0)
+        assert tlb.translate(7, cycle=1) == 0
+        assert tlb.stats.hits == 1
+
+    def test_miss_rate(self):
+        tlb = TLB()
+        tlb.translate(1, 0)
+        tlb.translate(1, 1)
+        tlb.translate(2, 2)
+        assert tlb.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_covers(self):
+        tlb = TLB()
+        assert not tlb.covers(9)
+        tlb.translate(9, 0)
+        assert tlb.covers(9)
+
+    def test_walk_cycles_accumulate(self):
+        tlb = TLB(walk_latency=50)
+        tlb.translate(1, 0)
+        tlb.translate(2, 0)
+        assert tlb.stats.walk_cycles == 100
+
+
+class TestCapacity:
+    def test_lru_eviction_within_set(self):
+        tlb = TLB(entries=4, associativity=2, walk_latency=10)
+        # Pages 0, 2, 4 all map to set 0 (2 sets).
+        tlb.translate(0, cycle=0)
+        tlb.translate(2, cycle=1)
+        tlb.translate(0, cycle=2)  # touch page 0 so page 2 is LRU
+        tlb.translate(4, cycle=3)  # evicts page 2
+        assert tlb.covers(0)
+        assert not tlb.covers(2)
+        assert tlb.covers(4)
+
+    def test_occupancy_bounded(self):
+        tlb = TLB(entries=8, associativity=4)
+        for page in range(100):
+            tlb.translate(page, cycle=page)
+        assert tlb.occupancy() <= 8
+
+    def test_flush(self):
+        tlb = TLB()
+        tlb.translate(3, 0)
+        tlb.flush()
+        assert not tlb.covers(3)
+        assert tlb.occupancy() == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+        with pytest.raises(ValueError):
+            TLB(entries=10, associativity=4)
+
+
+class TestHierarchyIntegration:
+    def test_demand_load_pays_walk_once_per_page(self):
+        hierarchy = MemoryHierarchy(CacheHierarchyConfig())
+        first = hierarchy.load(0, cycle=0)
+        # Same page, different block: no second walk.
+        second = hierarchy.load(1, cycle=0)
+        assert first.completion - second.completion == (
+            hierarchy.config.tlb_walk_latency
+        )
+        assert hierarchy.tlb.stats.misses == 1
+
+    def test_prefetches_skip_translation(self):
+        hierarchy = MemoryHierarchy(CacheHierarchyConfig())
+        hierarchy.store_permission(0, cycle=0, prefetch=True)
+        assert hierarchy.tlb.stats.lookups == 0
+
+    def test_disabled_tlb(self):
+        config = CacheHierarchyConfig(tlb_entries=0)
+        hierarchy = MemoryHierarchy(config)
+        assert hierarchy.tlb is None
+        result = hierarchy.load(0, cycle=0)
+        expected = config.l2.latency + config.l3.latency + config.dram_latency
+        assert result.completion == expected
+
+    def test_spb_burst_needs_no_new_translations(self):
+        """The burst stays in the current page, so no page walks occur on
+        its behalf — the paper's advantage over software prefetching."""
+        from repro.core.policies import SpbPrefetch
+        from repro.config.system import SpbConfig
+
+        hierarchy = MemoryHierarchy(CacheHierarchyConfig())
+        engine = SpbPrefetch(hierarchy, SpbConfig(check_interval=8))
+        for i in range(16):
+            addr = i * 8
+            if i == 0:
+                hierarchy.store_permission(0, cycle=i)  # demand: one walk
+            engine.on_store_committed(addr // 64, addr, cycle=i)
+        assert engine.stats.burst_requests >= 1
+        assert hierarchy.tlb.stats.misses == 1  # only the demand store walked

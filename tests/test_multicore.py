@@ -1,0 +1,81 @@
+"""Tests for the multi-core system (paper §VI-F)."""
+
+import pytest
+
+from repro import SystemConfig, simulate_multicore, parsec
+from repro.multicore.system import MulticoreSystem
+
+
+class TestConstruction:
+    def test_rejects_empty_traces(self):
+        with pytest.raises(ValueError):
+            MulticoreSystem(SystemConfig(), [])
+
+    def test_cores_share_one_uncore(self):
+        traces = parsec("swaptions", threads=4, length=1_000)
+        system = MulticoreSystem(SystemConfig(num_cores=4), traces)
+        uncores = {p.hierarchy.uncore for p in system.pipelines}
+        assert len(uncores) == 1
+
+    def test_private_levels_are_per_core(self):
+        traces = parsec("swaptions", threads=2, length=1_000)
+        system = MulticoreSystem(SystemConfig(num_cores=2), traces)
+        l1s = {id(p.hierarchy.l1d) for p in system.pipelines}
+        assert len(l1s) == 2
+
+
+class TestExecution:
+    def test_all_threads_complete(self):
+        traces = parsec("dedup", threads=4, length=4_000)
+        result = simulate_multicore(traces, SystemConfig(num_cores=4))
+        assert len(result.per_core) == 4
+        assert all(s.committed_uops == 4_000 for s in result.per_core)
+
+    def test_system_ipc_aggregates(self):
+        traces = parsec("swaptions", threads=4, length=4_000)
+        result = simulate_multicore(traces, SystemConfig(num_cores=4))
+        assert result.committed_uops == 16_000
+        assert result.system_ipc > 1.0  # four cores in parallel
+
+    def test_deterministic(self):
+        traces = parsec("dedup", threads=2, length=3_000)
+        a = simulate_multicore(traces, SystemConfig(num_cores=2))
+        b = simulate_multicore(traces, SystemConfig(num_cores=2))
+        assert a.cycles == b.cycles
+
+    def test_single_core_multicore_close_to_simulate(self):
+        from repro import simulate
+
+        traces = parsec("dedup", threads=1, length=4_000)
+        multi = simulate_multicore(traces, SystemConfig(num_cores=1))
+        single = simulate(traces[0], SystemConfig())
+        # Same machinery modulo the lockstep scheduler's bookkeeping.
+        assert abs(multi.cycles - single.cycles) / single.cycles < 0.05
+
+
+class TestCoherenceInteraction:
+    def test_shared_writes_generate_invalidations(self):
+        # dedup's shared region (1 MiB) is small enough that four threads
+        # collide on blocks within a few thousand accesses.
+        traces = parsec("dedup", threads=4, length=8_000)
+        system = MulticoreSystem(SystemConfig(num_cores=4), traces)
+        system.run()
+        directory = system.uncore.directory
+        assert directory.stats.invalidations_sent > 0
+        assert directory.stats.downgrades_sent > 0
+
+    def test_spb_not_slower_than_at_commit_on_shared_apps(self):
+        # §VI-F: no PARSEC benchmark degrades under SPB (coherence-friendly).
+        traces = parsec("canneal", threads=4, length=6_000)
+        base = simulate_multicore(
+            traces, SystemConfig.skylake(store_prefetch="at-commit", num_cores=4)
+        )
+        spb = simulate_multicore(
+            traces, SystemConfig.skylake(store_prefetch="spb", num_cores=4)
+        )
+        assert spb.cycles <= base.cycles * 1.02
+
+    def test_sb_stall_ratio_bounded(self):
+        traces = parsec("dedup", threads=2, length=4_000)
+        result = simulate_multicore(traces, SystemConfig(num_cores=2))
+        assert 0.0 <= result.sb_stall_ratio <= 1.0

@@ -1,0 +1,89 @@
+"""Tests for prefetch-outcome classification (paper Figure 11)."""
+
+from repro.prefetch.stats import PrefetchOutcomeTracker
+
+
+class TestOutcomeClassification:
+    def test_successful_when_fill_arrived(self):
+        tracker = PrefetchOutcomeTracker()
+        tracker.on_prefetch_issued(1, completion=50, cycle=0)
+        tracker.on_demand_store(1, cycle=100)
+        assert tracker.finalize().successful == 1
+
+    def test_late_when_fill_in_flight(self):
+        tracker = PrefetchOutcomeTracker()
+        tracker.on_prefetch_issued(1, completion=200, cycle=0)
+        tracker.on_demand_store(1, cycle=100)
+        outcomes = tracker.finalize()
+        assert outcomes.late == 1
+        assert outcomes.successful == 0
+
+    def test_early_when_evicted_before_use(self):
+        tracker = PrefetchOutcomeTracker()
+        tracker.on_prefetch_issued(1, completion=10, cycle=0)
+        tracker.on_removed(1)
+        assert tracker.finalize().early == 1
+
+    def test_unused_at_finalize(self):
+        tracker = PrefetchOutcomeTracker()
+        tracker.on_prefetch_issued(1, completion=10, cycle=0)
+        tracker.on_prefetch_issued(2, completion=10, cycle=0)
+        tracker.on_demand_store(1, cycle=50)
+        assert tracker.finalize().unused == 1
+
+    def test_demand_without_prefetch_counts_miss(self):
+        tracker = PrefetchOutcomeTracker()
+        tracker.on_demand_store(1, cycle=0)
+        assert tracker.finalize().demand_misses == 1
+
+    def test_settle_promotes_landed_fills(self):
+        tracker = PrefetchOutcomeTracker()
+        tracker.on_prefetch_issued(1, completion=50, cycle=0)
+        tracker.settle(cycle=60)
+        tracker.on_demand_store(1, cycle=61)
+        assert tracker.finalize().successful == 1
+
+    def test_duplicate_prefetch_not_double_tracked(self):
+        tracker = PrefetchOutcomeTracker()
+        tracker.on_prefetch_issued(1, completion=10, cycle=0)
+        tracker.on_prefetch_issued(1, completion=999, cycle=0)
+        tracker.on_demand_store(1, cycle=50)
+        outcomes = tracker.finalize()
+        assert outcomes.issued == 1
+        assert outcomes.successful == 1
+
+    def test_retracked_after_use(self):
+        tracker = PrefetchOutcomeTracker()
+        tracker.on_prefetch_issued(1, completion=10, cycle=0)
+        tracker.on_demand_store(1, cycle=50)
+        tracker.on_prefetch_issued(1, completion=100, cycle=60)
+        tracker.on_demand_store(1, cycle=70)
+        outcomes = tracker.finalize()
+        assert outcomes.successful == 1
+        assert outcomes.late == 1
+
+
+class TestOutcomeAggregates:
+    def _tracked(self):
+        tracker = PrefetchOutcomeTracker()
+        for block, completion, use in ((1, 10, 50), (2, 99, 50), (3, 10, None)):
+            tracker.on_prefetch_issued(block, completion=completion, cycle=0)
+            if use is not None:
+                tracker.on_demand_store(block, cycle=use)
+        return tracker.finalize()
+
+    def test_issued_total(self):
+        assert self._tracked().issued == 3
+
+    def test_success_rate(self):
+        outcomes = self._tracked()
+        assert outcomes.success_rate == 1 / 3
+
+    def test_fractions_sum_to_one(self):
+        fractions = self._tracked().fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_empty_fractions_are_zero(self):
+        empty = PrefetchOutcomeTracker().finalize()
+        assert empty.success_rate == 0.0
+        assert all(v == 0.0 for v in empty.fractions().values())

@@ -1,0 +1,138 @@
+"""Tests for the stream (stride) prefetcher and the FDP variants."""
+
+from repro.prefetch.feedback import AdaptivePrefetcher, AggressivePrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+from repro.prefetch.base import NullPrefetcher
+
+
+class TestNullPrefetcher:
+    def test_never_proposes(self):
+        pf = NullPrefetcher()
+        assert pf.on_demand(10, False, False, 0) == []
+        assert pf.stats.issued == 0
+
+
+class TestStreamConfirmation:
+    def test_needs_two_equal_strides(self):
+        pf = StreamPrefetcher()
+        assert pf.on_demand(10, False, False, 0) == []
+        assert pf.on_demand(11, False, False, 1) == []  # stride learned
+        proposals = pf.on_demand(12, False, False, 2)  # stride confirmed
+        assert proposals == [(13, False)]
+
+    def test_store_stream_prefetches_for_write(self):
+        pf = StreamPrefetcher()
+        for i, block in enumerate((10, 11)):
+            pf.on_demand(block, False, True, i)
+        assert pf.on_demand(12, False, True, 2) == [(13, True)]
+
+    def test_stride_change_resets_confirmation(self):
+        pf = StreamPrefetcher()
+        for i, block in enumerate((10, 11, 12)):
+            pf.on_demand(block, False, False, i)
+        assert pf.on_demand(20, False, False, 3) == []  # stride broken
+        # The new stride confirms on its second occurrence.
+        assert pf.on_demand(28, False, False, 4) == [(36, False)]
+
+    def test_same_block_repeats_do_not_confirm(self):
+        pf = StreamPrefetcher()
+        for i in range(5):
+            assert pf.on_demand(10, False, False, i) == []
+
+    def test_negative_stride_supported(self):
+        pf = StreamPrefetcher()
+        for i, block in enumerate((30, 29, 28)):
+            out = pf.on_demand(block, False, False, i)
+        assert out == [(27, False)]
+
+    def test_degree_controls_proposal_count(self):
+        pf = StreamPrefetcher(degree=3)
+        for i, block in enumerate((10, 11, 12)):
+            out = pf.on_demand(block, False, False, i)
+        assert out == [(13, False), (14, False), (15, False)]
+
+
+class TestStreamTable:
+    def test_independent_regions_tracked_separately(self):
+        pf = StreamPrefetcher()
+        # Interleave two streams in different 4 KiB regions.
+        a, b = 0, 1 << 10
+        outs = []
+        for i in range(3):
+            outs.append(pf.on_demand(a + i, False, False, 2 * i))
+            outs.append(pf.on_demand(b + i, False, False, 2 * i + 1))
+        assert (a + 3, False) in outs[-2]
+        assert (b + 3, False) in outs[-1]
+
+    def test_table_eviction_limits_tracking(self):
+        pf = StreamPrefetcher(table_entries=2)
+        for region in range(5):
+            pf.on_demand(region << 6, False, False, region)
+        assert len(pf._table) <= 2
+
+
+class TestAggressive:
+    def test_default_degree_is_4(self):
+        pf = AggressivePrefetcher()
+        for i, block in enumerate((10, 11, 12)):
+            out = pf.on_demand(block, False, False, i)
+        assert len(out) == 4
+
+
+class TestAdaptive:
+    def _confirm(self, pf):
+        for i, block in enumerate((10, 11, 12)):
+            pf.on_demand(block, False, False, i)
+
+    def test_starts_at_start_degree(self):
+        assert AdaptivePrefetcher(start_degree=2).degree == 2
+
+    def test_degree_decreases_on_poor_accuracy(self):
+        pf = AdaptivePrefetcher(start_degree=4, interval=8)
+        self._confirm(pf)
+        block = 13
+        while pf._interval_issued > 0:  # run until an interval closes
+            pf.on_demand(block, False, False, block)
+            block += 1
+        assert pf.degree < 4
+
+    def test_degree_increases_on_high_accuracy(self):
+        pf = AdaptivePrefetcher(start_degree=2, interval=4)
+        self._confirm(pf)
+        block = 13
+        for _ in range(20):
+            for p, _w in pf.on_demand(block, False, False, block):
+                pf.on_useful_prefetch()  # every prefetch was useful
+            block += 1
+        assert pf.degree > 2
+
+    def test_degree_bounded(self):
+        pf = AdaptivePrefetcher(min_degree=1, max_degree=3, start_degree=2,
+                                interval=4)
+        self._confirm(pf)
+        block = 13
+        for _ in range(50):
+            for __ in pf.on_demand(block, False, False, block):
+                pf.on_useful_prefetch()
+            block += 1
+        assert 1 <= pf.degree <= 3
+
+    def test_rejects_inconsistent_bounds(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            AdaptivePrefetcher(min_degree=3, max_degree=2, start_degree=2)
+
+
+class TestAccuracyStats:
+    def test_accuracy_ratio(self):
+        pf = StreamPrefetcher()
+        for i, block in enumerate((10, 11, 12, 13)):
+            pf.on_demand(block, False, False, i)
+        pf.on_useful_prefetch()
+        assert pf.stats.issued == 2
+        assert pf.stats.useful == 1
+        assert pf.stats.accuracy == 0.5
+
+    def test_accuracy_zero_when_nothing_issued(self):
+        assert StreamPrefetcher().stats.accuracy == 0.0

@@ -1,0 +1,154 @@
+"""Tests for the simulation runner, results cache and sweeps."""
+
+import pytest
+
+from repro import ResultsCache, SystemConfig, simulate, spec2017
+from repro.config.system import StorePrefetchPolicy
+from repro.sim.sweep import (
+    geomean,
+    normalized_performance,
+    policy_sweep,
+    sb_size_sweep,
+)
+
+
+class TestSimulate:
+    def test_result_fields_populated(self):
+        result = simulate(spec2017("gcc", length=10_000), SystemConfig())
+        assert result.workload == "gcc"
+        assert result.policy == "at-commit"
+        assert result.sb_entries == 56
+        assert result.cycles > 0
+        assert result.pipeline.committed_uops == 10_000
+        assert result.energy is not None
+
+    def test_detector_stats_only_for_spb(self):
+        trace = spec2017("gcc", length=5_000)
+        spb = simulate(trace, SystemConfig().with_policy("spb"))
+        base = simulate(trace, SystemConfig())
+        assert spb.detector_stats is not None
+        assert base.detector_stats is None
+
+    def test_deterministic(self):
+        trace = spec2017("bwaves", length=10_000)
+        a = simulate(trace, SystemConfig())
+        b = simulate(trace, SystemConfig())
+        assert a.cycles == b.cycles
+        assert a.traffic.l1_miss_requests == b.traffic.l1_miss_requests
+
+    def test_sb_entries_reports_per_thread_size(self):
+        cfg = SystemConfig(core=SystemConfig().core.with_smt(2))
+        result = simulate(spec2017("gcc", length=5_000), cfg)
+        assert result.sb_entries == 28
+
+
+class TestWarmup:
+    def test_measures_only_the_remainder(self):
+        trace = spec2017("bwaves", length=20_000)
+        result = simulate(trace, SystemConfig(), warmup=5_000)
+        assert result.pipeline.committed_uops == 15_000
+
+    def test_warm_run_not_slower_than_cold_remainder(self):
+        from repro.isa.trace import Trace
+
+        trace = spec2017("bwaves", length=20_000)
+        rest = Trace(list(trace)[5_000:], name="rest", regions=trace.regions)
+        cold = simulate(rest, SystemConfig())
+        warm = simulate(trace, SystemConfig(), warmup=5_000)
+        assert warm.cycles <= cold.cycles * 1.02
+
+    def test_counters_reset_after_warmup(self):
+        trace = spec2017("gcc", length=10_000)
+        full = simulate(trace, SystemConfig())
+        warm = simulate(trace, SystemConfig(), warmup=5_000)
+        assert warm.traffic.demand_loads < full.traffic.demand_loads
+
+    def test_warmup_larger_than_trace_is_ignored(self):
+        trace = spec2017("gcc", length=5_000)
+        result = simulate(trace, SystemConfig(), warmup=10_000)
+        assert result.pipeline.committed_uops == 5_000
+
+
+class TestResultsCache:
+    def test_caches_by_config(self):
+        cache = ResultsCache()
+        cfg = SystemConfig()
+        a = cache.get(spec2017, "gcc", 5_000, cfg)
+        b = cache.get(spec2017, "gcc", 5_000, cfg)
+        assert a is b
+        assert len(cache) == 1
+
+    def test_distinct_configs_not_shared(self):
+        cache = ResultsCache()
+        cache.get(spec2017, "gcc", 5_000, SystemConfig())
+        cache.get(spec2017, "gcc", 5_000, SystemConfig().with_sb(14))
+        assert len(cache) == 2
+
+    def test_distinct_lengths_not_shared(self):
+        cache = ResultsCache()
+        cache.get(spec2017, "gcc", 5_000, SystemConfig())
+        cache.get(spec2017, "gcc", 6_000, SystemConfig())
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = ResultsCache()
+        cache.get(spec2017, "gcc", 5_000, SystemConfig())
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert abs(geomean([1.0, 4.0]) - 2.0) < 1e-9
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_is_zero(self):
+        assert geomean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geomean([0.0, 2.0, 8.0]) == pytest.approx(4.0)
+
+
+class TestSweeps:
+    def test_policy_sweep_shape(self):
+        cache = ResultsCache()
+        results = policy_sweep(
+            cache, spec2017, ["gcc", "bwaves"], sb_entries=28,
+            policies=["at-commit", "spb"], length=5_000,
+        )
+        assert set(results) == {"gcc", "bwaves"}
+        assert set(results["gcc"]) == {"at-commit", "spb"}
+
+    def test_sb_size_sweep_shape(self):
+        cache = ResultsCache()
+        results = sb_size_sweep(
+            cache, spec2017, ["gcc"], sb_sizes=[14, 56],
+            policy="at-commit", length=5_000,
+        )
+        assert set(results["gcc"]) == {14, 56}
+        assert results["gcc"][14].sb_entries == 14
+
+    def test_sweeps_share_cache(self):
+        cache = ResultsCache()
+        policy_sweep(cache, spec2017, ["gcc"], 56, ["at-commit"], 5_000)
+        before = len(cache)
+        sb_size_sweep(cache, spec2017, ["gcc"], [56], "at-commit", 5_000)
+        assert len(cache) == before  # same (app, config) reused
+
+    def test_normalized_performance(self):
+        cache = ResultsCache()
+        ideal_cfg = SystemConfig.skylake(sb_entries=1024, store_prefetch="ideal")
+        ideal = {"gcc": cache.get(spec2017, "gcc", 5_000, ideal_cfg)}
+        base = {"gcc": cache.get(spec2017, "gcc", 5_000, SystemConfig())}
+        norm = normalized_performance(base, ideal)
+        assert 0 < norm["gcc"] <= 1.05
+
+    def test_policy_enum_accepted(self):
+        cache = ResultsCache()
+        results = policy_sweep(
+            cache, spec2017, ["gcc"], 56,
+            policies=[StorePrefetchPolicy.AT_COMMIT], length=5_000,
+        )
+        assert "at-commit" in results["gcc"]

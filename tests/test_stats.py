@@ -1,0 +1,94 @@
+"""Tests for pipeline counters, Top-Down metrics and SimResult."""
+
+from repro import SystemConfig, simulate, spec2017
+from repro.stats.counters import PipelineStats, StallBreakdown
+from repro.stats.topdown import TopDownMetrics
+
+
+class TestStallBreakdown:
+    def test_total_and_other(self):
+        stalls = StallBreakdown(sb_full=10, rob_full=5, issue_queue_full=3,
+                                load_queue_full=2, frontend=1)
+        assert stalls.total == 21
+        assert stalls.other == 11
+
+    def test_empty(self):
+        assert StallBreakdown().total == 0
+
+
+class TestPipelineStats:
+    def test_ipc(self):
+        stats = PipelineStats(cycles=100, committed_uops=250)
+        assert stats.ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        assert PipelineStats().ipc == 0.0
+
+    def test_sb_stall_ratio(self):
+        stats = PipelineStats(cycles=200, sb_stall_cycles=50)
+        assert stats.sb_stall_ratio == 0.25
+
+    def test_mean_load_wait(self):
+        stats = PipelineStats(committed_loads=4, load_wait_cycles=100)
+        assert stats.mean_load_wait == 25.0
+        assert PipelineStats().mean_load_wait == 0.0
+
+    def test_stalls_by_region(self):
+        stats = PipelineStats()
+        stats.sb_stall_by_pc[0x10] = 30
+        stats.sb_stall_by_pc[0x20] = 70
+        regions = {0x10: "memcpy", 0x20: "memcpy"}
+        grouped = stats.stalls_by_region(lambda pc: regions.get(pc, "app"))
+        assert grouped == {"memcpy": 100}
+
+
+class TestTopDown:
+    def test_from_stats(self):
+        stats = PipelineStats(
+            cycles=100, committed_uops=200, sb_stall_cycles=10,
+            exec_stall_l1d_pending=20,
+        )
+        td = TopDownMetrics.from_stats(stats, width=4)
+        assert td.sb_bound == 0.10
+        assert td.l1d_miss_pending_stall == 0.20
+        assert td.retiring == 0.5
+
+    def test_sb_bound_classification_threshold(self):
+        bound = TopDownMetrics(0.021, 0, 0, 0, 0)
+        unbound = TopDownMetrics(0.019, 0, 0, 0, 0)
+        assert bound.is_sb_bound
+        assert not unbound.is_sb_bound
+
+    def test_zero_cycles_safe(self):
+        td = TopDownMetrics.from_stats(PipelineStats(), width=4)
+        assert td.sb_bound == 0.0
+
+
+class TestSimResult:
+    def _pair(self):
+        trace = spec2017("bwaves", length=20_000)
+        base = simulate(trace, SystemConfig.skylake(store_prefetch="at-commit"))
+        spb = simulate(trace, SystemConfig.skylake(store_prefetch="spb"))
+        return base, spb
+
+    def test_speedup_and_normalized_time_inverse(self):
+        base, spb = self._pair()
+        speedup = spb.speedup_over(base)
+        norm = spb.normalized_time_to(base)
+        assert abs(speedup * norm - 1.0) < 1e-9
+
+    def test_summary_keys(self):
+        base, _ = self._pair()
+        summary = base.summary()
+        for key in ("workload", "policy", "sb_entries", "cycles", "ipc",
+                    "sb_stall_ratio"):
+            assert key in summary
+
+    def test_regions_extra_populated(self):
+        base, _ = self._pair()
+        assert "regions" in base.extras
+        assert isinstance(base.extras["regions"], dict)
+
+    def test_topdown_consistent_with_pipeline(self):
+        base, _ = self._pair()
+        assert abs(base.topdown.sb_bound - base.sb_stall_ratio) < 1e-9

@@ -1,0 +1,160 @@
+"""Tests for trace generation and the SPEC/PARSEC workload tables."""
+
+import pytest
+
+from repro.workloads import (
+    PARSEC_APPS,
+    SB_BOUND_PARSEC,
+    SB_BOUND_SPEC,
+    SPEC_APPS,
+    build_trace,
+    parsec,
+    parsec_names,
+    spec2017,
+    spec2017_names,
+)
+from repro.workloads.generator import PhaseSpec, WorkloadSpec
+from repro.workloads.phases import compute, loads, memset
+
+
+class TestBuildTrace:
+    def _spec(self):
+        return WorkloadSpec(
+            name="toy",
+            phases=(compute(0.5), loads(0.3), memset(0.2, nbytes=1024)),
+        )
+
+    def test_length_respected(self):
+        trace = build_trace(self._spec(), length=10_000)
+        assert len(trace) == 10_000
+
+    def test_deterministic_per_seed(self):
+        a = build_trace(self._spec(), length=5_000, seed=3)
+        b = build_trace(self._spec(), length=5_000, seed=3)
+        assert [op.pc for op in a] == [op.pc for op in b]
+        assert [op.addr for op in a] == [op.addr for op in b]
+
+    def test_seeds_differ(self):
+        from repro.workloads.phases import sparse
+
+        spec = WorkloadSpec(name="seedy", phases=(sparse(1.0),))
+        a = build_trace(spec, length=5_000, seed=1)
+        b = build_trace(spec, length=5_000, seed=2)
+        assert [op.addr for op in a] != [op.addr for op in b]
+
+    def test_every_phase_fires_in_short_traces(self):
+        trace = build_trace(self._spec(), length=8_000)
+        stats = trace.stats()
+        assert stats.stores > 0  # memset (weight 0.2) ran
+        assert stats.loads > 0
+
+    def test_weights_approximated_long_run(self):
+        spec = WorkloadSpec(
+            name="toy2", phases=(compute(0.7), loads(0.3))
+        )
+        trace = build_trace(spec, length=100_000)
+        load_ops = trace.stats().loads
+        # loads phase emits 1 load per 3 µops; share 0.3 -> ~10% loads.
+        assert 0.05 < load_ops / len(trace) < 0.15
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            build_trace(self._spec(), length=0)
+
+    def test_rejects_empty_phases(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="empty", phases=())
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("bad", lambda *a: None, weight=0.0)
+
+
+class TestSpecTable:
+    def test_all_sb_bound_apps_defined(self):
+        for app in SB_BOUND_SPEC:
+            assert app in SPEC_APPS
+
+    def test_names_listing(self):
+        assert set(spec2017_names(sb_bound_only=True)) == set(SB_BOUND_SPEC)
+        assert len(spec2017_names()) >= 20
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(ValueError, match="unknown SPEC app"):
+            spec2017("doom")
+
+    @pytest.mark.parametrize("app", sorted(SPEC_APPS))
+    def test_every_app_builds(self, app):
+        trace = spec2017(app, length=3_000)
+        assert len(trace) == 3_000
+        assert trace.name == app
+
+    def test_sb_bound_apps_have_burst_stores(self):
+        for app in ("bwaves", "x264", "roms"):
+            stats = spec2017(app, length=30_000).stats()
+            # Burst apps write many distinct blocks.
+            assert stats.distinct_store_blocks > 50
+
+    def test_region_annotations_present(self):
+        trace = spec2017("bwaves", length=30_000)
+        regions = {trace.region_of(op.pc) for op in trace if op.is_store}
+        assert "memcpy" in regions
+
+    def test_clear_page_annotated(self):
+        trace = spec2017("fotonik3d", length=40_000)
+        regions = {trace.region_of(op.pc) for op in trace if op.is_store}
+        assert "clear_page" in regions
+
+    def test_calloc_annotated_for_blender(self):
+        trace = spec2017("blender", length=60_000)
+        regions = {trace.region_of(op.pc) for op in trace if op.is_store}
+        assert "calloc" in regions
+
+    def test_deepsjeng_stalling_stores_in_app_code(self):
+        trace = spec2017("deepsjeng", length=40_000)
+        regions = {trace.region_of(op.pc) for op in trace if op.is_store}
+        assert "app" in regions
+
+
+class TestParsecTable:
+    def test_sb_bound_subset(self):
+        assert set(SB_BOUND_PARSEC) == {"bodytrack", "dedup", "ferret", "x264"}
+        for app in SB_BOUND_PARSEC:
+            assert app in PARSEC_APPS
+
+    def test_excluded_apps_absent(self):
+        # The paper could not run freqmine and raytrace under gem5.
+        assert "freqmine" not in PARSEC_APPS
+        assert "raytrace" not in PARSEC_APPS
+
+    def test_thread_count(self):
+        traces = parsec("dedup", threads=4, length=2_000)
+        assert len(traces) == 4
+        assert all(len(t) == 2_000 for t in traces)
+
+    def test_threads_have_distinct_private_data(self):
+        traces = parsec("dedup", threads=2, length=8_000)
+        shared_base = 1 << 44
+        a = {op.addr for op in traces[0] if op.is_memory and op.addr < shared_base}
+        b = {op.addr for op in traces[1] if op.is_memory and op.addr < shared_base}
+        assert a and b and not (a & b)
+
+    def test_threads_share_the_shared_region(self):
+        traces = parsec("canneal", threads=2, length=5_000)
+        shared_base = 1 << 44
+        a = {op.addr for op in traces[0] if op.is_memory and op.addr >= shared_base}
+        b = {op.addr for op in traces[1] if op.is_memory and op.addr >= shared_base}
+        assert a and b  # both touch the shared region
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(ValueError, match="unknown PARSEC app"):
+            parsec("freqmine")
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            parsec("dedup", threads=0)
+
+    @pytest.mark.parametrize("app", sorted(PARSEC_APPS))
+    def test_every_app_builds(self, app):
+        traces = parsec(app, threads=2, length=1_500)
+        assert all(len(t) == 1_500 for t in traces)

@@ -1,0 +1,118 @@
+"""Tests for the workload kernel generators."""
+
+import random
+
+from repro.isa.uop import OpKind
+from repro.workloads import kernels as K
+
+
+class TestMemcpy:
+    def test_word_granularity(self):
+        b = K.memcpy_kernel(1024, dst_base=0x1000, src_base=0x2000, pc_base=0x10)
+        stores = [op for op in b.ops if op.is_store]
+        loads = [op for op in b.ops if op.is_load]
+        assert len(stores) == len(loads) == 128
+
+    def test_stores_are_contiguous(self):
+        b = K.memcpy_kernel(1024, dst_base=0x1000, src_base=0x2000, pc_base=0x10)
+        addrs = [op.addr for op in b.ops if op.is_store]
+        assert addrs == list(range(0x1000, 0x1000 + 1024, 8))
+
+    def test_region_annotation(self):
+        b = K.memcpy_kernel(64, dst_base=0, src_base=4096, pc_base=0x10)
+        assert all(region == "memcpy" for region in b.regions.values())
+
+    def test_store_depends_on_load(self):
+        b = K.memcpy_kernel(64, dst_base=0, src_base=4096, pc_base=0x10)
+        stores = [op for op in b.ops if op.is_store]
+        assert all(op.dep_distance == 1 for op in stores)
+
+    def test_small_pc_footprint(self):
+        b = K.memcpy_kernel(8192, dst_base=0, src_base=1 << 20, pc_base=0x10)
+        assert len(b.regions) <= 8  # loop body reuses PCs
+
+
+class TestMemsetAndClearPage:
+    def test_memset_stores_only(self):
+        b = K.memset_kernel(512, dst_base=0x4000, pc_base=0x20)
+        assert not any(op.is_load for op in b.ops)
+        assert sum(op.is_store for op in b.ops) == 64
+
+    def test_clear_page_covers_whole_pages(self):
+        b = K.clear_page_kernel(2, base=0x10000, pc_base=0x30)
+        addrs = {op.addr for op in b.ops if op.is_store}
+        assert len(addrs) == 2 * 512
+        assert min(addrs) == 0x10000
+        assert max(addrs) == 0x10000 + 8192 - 8
+
+    def test_clear_page_region(self):
+        b = K.clear_page_kernel(1, base=0, pc_base=0x30)
+        assert set(b.regions.values()) == {"clear_page"}
+
+
+class TestShuffled:
+    def test_covers_same_bytes_as_contiguous(self):
+        rng = random.Random(1)
+        b = K.shuffled_store_kernel(1024, dst_base=0x8000, pc_base=0x40, rng=rng)
+        addrs = sorted(op.addr for op in b.ops if op.is_store)
+        assert addrs == list(range(0x8000, 0x8000 + 1024, 8))
+
+    def test_not_monotonic(self):
+        rng = random.Random(1)
+        b = K.shuffled_store_kernel(1024, dst_base=0x8000, pc_base=0x40, rng=rng)
+        addrs = [op.addr for op in b.ops if op.is_store]
+        assert addrs != sorted(addrs)
+
+    def test_window_locality(self):
+        # Each window of 8 stores covers exactly one block's worth of words.
+        rng = random.Random(2)
+        b = K.shuffled_store_kernel(512, dst_base=0, pc_base=0x40, rng=rng, window=8)
+        stores = [op for op in b.ops if op.is_store]
+        for start in range(0, len(stores), 8):
+            window = stores[start:start + 8]
+            span = max(op.addr for op in window) - min(op.addr for op in window)
+            assert span <= 64
+
+
+class TestOtherKernels:
+    def test_strided_stride_respected(self):
+        b = K.strided_store_kernel(10, dst_base=0, stride=256, pc_base=0x50)
+        addrs = [op.addr for op in b.ops if op.is_store]
+        assert addrs == [i * 256 for i in range(10)]
+
+    def test_sparse_within_span(self):
+        rng = random.Random(3)
+        b = K.sparse_store_kernel(100, base=0x1000, span_bytes=4096,
+                                  pc_base=0x60, rng=rng)
+        for op in b.ops:
+            if op.is_store:
+                assert 0x1000 <= op.addr < 0x1000 + 4096
+
+    def test_load_stream_sequential(self):
+        b = K.load_stream_kernel(10, base=0x2000, pc_base=0x70)
+        addrs = [op.addr for op in b.ops if op.is_load]
+        assert addrs == [0x2000 + 8 * i for i in range(10)]
+
+    def test_pointer_chase_is_dependent(self):
+        rng = random.Random(4)
+        b = K.pointer_chase_kernel(10, base=0, working_set_bytes=1 << 20,
+                                   pc_base=0x80, rng=rng)
+        loads = [op for op in b.ops if op.is_load]
+        assert all(op.dep_distance > 0 for op in loads)
+
+    def test_compute_mix(self):
+        rng = random.Random(5)
+        b = K.compute_kernel(100, pc_base=0x90, fp_fraction=1.0, rng=rng)
+        assert all(op.kind == OpKind.FP_MUL for op in b.ops)
+
+    def test_branchy_mispredict_rate(self):
+        rng = random.Random(6)
+        b = K.branchy_kernel(1000, pc_base=0xA0, mispredict_rate=0.1, rng=rng)
+        branches = [op for op in b.ops if op.is_branch]
+        rate = sum(op.mispredicted for op in branches) / len(branches)
+        assert 0.05 < rate < 0.15
+
+    def test_branchy_zero_rate(self):
+        rng = random.Random(7)
+        b = K.branchy_kernel(100, pc_base=0xA0, mispredict_rate=0.0, rng=rng)
+        assert not any(op.mispredicted for op in b.ops)

@@ -1,0 +1,101 @@
+"""Tests for the shared phase builders."""
+
+import random
+
+import pytest
+
+from repro.workloads import phases as P
+from repro.workloads.generator import WorkloadSpec, build_trace
+
+
+def build_one(phase, inv=0, base=1 << 32, pc_base=0x1000, seed=3):
+    rng = random.Random(seed)
+    return phase.build(inv, rng, base, pc_base)
+
+
+class TestBurstDst:
+    def test_fresh_every_zero_always_warm(self):
+        for inv in range(8):
+            dst = P.burst_dst(0x1000, inv, base=99, nbytes=4096, pool_kib=8,
+                              fresh_every=0)
+            assert dst != 99
+
+    def test_fresh_every_selects_fresh(self):
+        fresh = [
+            P.burst_dst(0x1000, inv, base=99, nbytes=4096, pool_kib=8,
+                        fresh_every=4) == 99
+            for inv in range(8)
+        ]
+        assert fresh == [True, False, False, False, True, False, False, False]
+
+    def test_pool_rotates(self):
+        slots = {
+            P.pool_slot(0x1000, inv, nbytes=4096, pool_kib=8)
+            for inv in range(10)
+        }
+        assert len(slots) == 2  # 8 KiB pool of 4 KiB buffers
+
+
+class TestWarmBase:
+    def test_distinct_per_phase(self):
+        assert P.warm_base(0x1000) != P.warm_base(0x2000)
+
+    def test_above_fresh_regions(self):
+        assert P.warm_base(0x1000) >= (1 << 40)
+
+
+class TestPhaseBuilders:
+    def test_memcpy_emits_memcpy_region(self):
+        builder = build_one(P.memcpy(0.5))
+        assert "memcpy" in set(builder.regions.values())
+
+    def test_clear_page_fresh_every_invocation(self):
+        phase = P.clear_page(0.5, pages=1)
+        a = build_one(phase, inv=0, base=1 << 32)
+        b = build_one(phase, inv=1, base=(1 << 32) + (1 << 20))
+        addrs_a = {op.addr for op in a.ops if op.is_store}
+        addrs_b = {op.addr for op in b.ops if op.is_store}
+        assert not (addrs_a & addrs_b)
+
+    def test_loads_warm_key_shares_region(self):
+        a = build_one(P.loads(0.5, warm_key=42), pc_base=0x1000)
+        b = build_one(P.sparse(0.5, warm_key=42, span=256 * 1024),
+                      pc_base=0x2000)
+        load_pages = {op.addr >> 20 for op in a.ops if op.is_load}
+        store_pages = {op.addr >> 20 for op in b.ops if op.is_store}
+        assert load_pages & store_pages
+
+    def test_compute_has_no_memory_ops(self):
+        builder = build_one(P.compute(0.5))
+        assert not any(op.is_memory for op in builder.ops)
+
+    def test_weights_forwarded(self):
+        assert P.memcpy(0.25).weight == 0.25
+        assert P.branchy(0.1).weight == 0.1
+
+    @pytest.mark.parametrize("factory", [
+        P.memcpy, P.memset, P.app_copy, P.shuffled, P.loads, P.compute,
+        P.branchy, P.sparse, P.chase,
+    ])
+    def test_each_phase_builds_and_composes(self, factory):
+        spec = WorkloadSpec("solo", (factory(1.0),))
+        trace = build_trace(spec, length=2_000)
+        assert len(trace) == 2_000
+
+    def test_strided_phase(self):
+        spec = WorkloadSpec("solo", (P.strided(1.0, count=100),))
+        trace = build_trace(spec, length=1_000)
+        stores = [op for op in trace if op.is_store]
+        assert stores
+        deltas = {
+            b.addr - a.addr for a, b in zip(stores, stores[1:])
+            if b.addr > a.addr
+        }
+        assert 256 in deltas  # the default stride
+
+    def test_clear_page_covers_whole_page(self):
+        spec = WorkloadSpec("solo", (P.clear_page(1.0, pages=1),))
+        trace = build_trace(spec, length=1_200)
+        stores = {op.addr for op in trace if op.is_store}
+        # At least one full page's worth of distinct words.
+        assert len(stores) >= 512
