@@ -1,9 +1,13 @@
 """Shared infrastructure for the figure-regeneration benchmarks.
 
 Every benchmark file regenerates one table or figure from the paper.  All
-files share one in-process results cache, so the at-commit/SB56 baseline and
-the Ideal reference are each simulated once per session and reused by every
-figure that normalises against them.
+files share one results cache with two tiers: an in-process dictionary plus
+the persistent on-disk store under ``benchmarks/.cache/`` (campaign result
+store, keyed by config hash), so the at-commit/SB56 baseline and the Ideal
+reference are each simulated once *ever* and a figure-suite re-run only
+simulates cells whose configuration changed.  Set ``REPRO_NO_DISK_CACHE=1``
+to disable the disk tier; single-core runs route through the campaign
+engine (:func:`repro.campaign.execute_job`).
 
 Results are printed (run with ``pytest benchmarks/ --benchmark-only -s`` to
 see them live) and written as JSON under ``benchmarks/results/``.
@@ -18,6 +22,7 @@ from dataclasses import replace
 import pytest
 
 from repro import ResultsCache, SystemConfig, simulate_multicore, parsec, spec2017
+from repro.campaign import Job, ResultStore, execute_job
 from repro.config.system import CachePrefetcherKind, SpbConfig, StorePrefetchPolicy
 from repro.sim.sweep import geomean
 from repro.workloads import SB_BOUND_PARSEC, SB_BOUND_SPEC, parsec_names, spec2017_names
@@ -30,8 +35,12 @@ PARSEC_LENGTH = 20_000  # long enough for low-weight burst phases to fire
 PARSEC_THREADS = 8
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
 
-_spec_cache = ResultsCache()
+_store = (
+    None if os.environ.get("REPRO_NO_DISK_CACHE") else ResultStore(CACHE_DIR)
+)
+_spec_cache = ResultsCache(store=_store)
 _parsec_cache: dict[tuple, object] = {}
 
 
@@ -45,7 +54,7 @@ def spec_run(
     spb: SpbConfig | None = None,
     length: int = SPEC_LENGTH,
 ):
-    """One cached single-core run."""
+    """One cached single-core run, routed through the campaign engine."""
     if preset is not None:
         config = SystemConfig.preset(preset, store_prefetch=policy, sb_entries=sb)
     else:
@@ -53,7 +62,8 @@ def spec_run(
     config = replace(config, cache_prefetcher=CachePrefetcherKind(prefetcher))
     if spb is not None:
         config = replace(config, spb=spb)
-    return _spec_cache.get(spec2017, app, length, config)
+    return execute_job(Job(workload=app, length=length, config=config),
+                       cache=_spec_cache)
 
 
 def ideal_run(app: str, *, prefetcher: str = "stream", preset: str | None = None,
@@ -124,7 +134,26 @@ def figure(benchmark):
     return runner
 
 
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Show how much work the cache tiers saved this session."""
+    stats = _spec_cache.stats()
+    line = (
+        f"results cache: {stats['misses']} simulated, "
+        f"{stats['memory_hits']} memory hit(s), "
+        f"{stats['disk_hits']} disk hit(s)"
+    )
+    if _store is not None:
+        line += (
+            f"; store at {CACHE_DIR}: {len(_store)} entr(ies), "
+            f"{_store.saves} save(s), {_store.corrupt_loads} corrupt skip(s)"
+        )
+    else:
+        line += "; disk tier disabled (REPRO_NO_DISK_CACHE)"
+    terminalreporter.write_line(line)
+
+
 __all__ = [
+    "CACHE_DIR",
     "SPEC_LENGTH",
     "CLASSIFY_LENGTH",
     "PARSEC_LENGTH",

@@ -33,9 +33,16 @@ from repro.sim import ResultsCache, simulate, simulate_multicore
 from repro.stats import SimResult
 from repro.workloads import parsec, spec2017
 
-__version__ = "1.0.0"
+# Imported last: repro.campaign builds on repro.sim and repro.workloads.
+from repro.campaign import Campaign, Job, ResultStore, run_campaign
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "Campaign",
+    "Job",
+    "ResultStore",
+    "run_campaign",
     "CacheConfig",
     "CacheHierarchyConfig",
     "CachePrefetcherKind",

@@ -1,0 +1,240 @@
+"""Campaign execution: cache tiers first, then a process pool.
+
+Every job is looked up in the two cache tiers (in-process memory, then the
+persistent on-disk store); only the misses are simulated.  Misses run on a
+``ProcessPoolExecutor`` — the simulator is pure Python and deterministic
+per seed, so cells are embarrassingly parallel and a parallel run returns
+``SimResult``\\ s identical to a serial run of the same matrix.  Failed or
+crashed jobs are retried (``retries`` extra attempts each), and the engine
+degrades gracefully to in-process serial execution when ``max_workers`` is
+1 or the platform cannot spawn a pool.
+
+Per-job ``timeout`` (seconds) applies to pool execution only: a job whose
+result does not arrive in time counts as a failed attempt.  The worker
+process itself cannot be interrupted mid-simulation, so the pool is shut
+down without waiting in that case.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.campaign.job import Campaign, Job
+from repro.campaign.progress import (
+    DISK_HIT,
+    FAILED,
+    MEMORY_HIT,
+    RETRY,
+    SIMULATED,
+    CampaignTelemetry,
+    ProgressCallback,
+)
+from repro.campaign.store import ResultStore
+from repro.sim.runner import ResultsCache, simulate
+from repro.stats.result import SimResult
+
+#: Exceptions meaning "no process pool on this platform" rather than "this
+#: job failed" — they trigger the serial fallback for the whole round.
+_POOL_UNAVAILABLE = (OSError, ImportError, NotImplementedError, RuntimeError)
+
+
+def default_worker_count() -> int:
+    """Pool size when the caller does not choose: all cores but one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def run_job(job: Job) -> SimResult:
+    """Simulate one job in-process (no cache tiers)."""
+    return simulate(job.build_trace(), job.config, warmup=job.warmup)
+
+
+def _simulate_job(job: Job) -> tuple[SimResult, float]:
+    """Pool worker: run one job and time it (module-level: picklable)."""
+    started = time.perf_counter()
+    result = run_job(job)
+    return result, time.perf_counter() - started
+
+
+def execute_job(
+    job: Job,
+    cache: ResultsCache | None = None,
+    store: ResultStore | None = None,
+) -> SimResult:
+    """One job through the cache tiers — the single-cell engine entry.
+
+    ``benchmarks/conftest.py`` routes ``spec_run`` through this so ad-hoc
+    figure cells share tiers and counters with full campaigns.
+    """
+    if cache is None:
+        cache = ResultsCache(store=store)
+    result = cache.lookup(job.key)
+    if result is None:
+        result = run_job(job)
+        cache.insert(job.key, result)
+    return result
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """How one job of a campaign ended up."""
+
+    job: Job
+    status: str  # SIMULATED / MEMORY_HIT / DISK_HIT / FAILED
+    attempts: int = 1
+    wall_time: float = 0.0
+    error: str | None = None
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign run produced."""
+
+    results: dict[str, SimResult] = field(default_factory=dict)
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    telemetry: CampaignTelemetry = field(default_factory=CampaignTelemetry)
+
+    @property
+    def failures(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if o.status == FAILED]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def get(self, job: Job) -> SimResult | None:
+        return self.results.get(job.key)
+
+
+def run_campaign(
+    campaign: Campaign | Iterable[Job],
+    *,
+    cache: ResultsCache | None = None,
+    store: ResultStore | None = None,
+    max_workers: int | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    progress: ProgressCallback | None = None,
+    clock: Callable[[], float] = time.monotonic,
+) -> CampaignReport:
+    """Run every job of ``campaign``, reusing cached results.
+
+    ``cache`` is the two-tier :class:`ResultsCache` to consult and fill;
+    when omitted a fresh one is built around ``store`` (``store`` is
+    ignored if ``cache`` is given — attach stores to the cache instead).
+    ``retries`` is the number of *extra* attempts granted to a failing job
+    before it is recorded as FAILED.  ``progress`` receives one
+    :class:`ProgressEvent` per occurrence.
+    """
+    jobs = list(campaign)
+    if cache is None:
+        cache = ResultsCache(store=store)
+    workers = default_worker_count() if max_workers is None else max(1, max_workers)
+    telemetry = CampaignTelemetry(_clock=clock)
+    telemetry.start(len(jobs))
+    report = CampaignReport(telemetry=telemetry)
+    emit = progress if progress is not None else (lambda event: None)
+
+    def record(job: Job, status: str, **kwargs) -> None:
+        if status != RETRY:
+            report.outcomes.append(
+                JobOutcome(
+                    job=job,
+                    status=status,
+                    attempts=kwargs.get("attempt", 1),
+                    wall_time=kwargs.get("wall_time", 0.0),
+                    error=kwargs.get("error"),
+                )
+            )
+        emit(telemetry.record(status, job.key, job.describe(), **kwargs))
+
+    def succeed(job: Job, result: SimResult, wall: float, attempt: int) -> None:
+        cache.insert(job.key, result)
+        report.results[job.key] = result
+        record(job, SIMULATED, wall_time=wall, attempt=attempt)
+
+    # --- tier lookups -----------------------------------------------------
+    pending: list[Job] = []
+    for job in jobs:
+        if job.key in report.results:  # duplicate cell in the job list
+            record(job, MEMORY_HIT)
+            continue
+        memory_before, disk_before = cache.memory_hits, cache.disk_hits
+        hit = cache.lookup(job.key)
+        if hit is not None:
+            report.results[job.key] = hit
+            status = MEMORY_HIT if cache.memory_hits > memory_before else DISK_HIT
+            record(job, status)
+        else:
+            pending.append(job)
+
+    # --- serial path ------------------------------------------------------
+    def run_serial(serial_jobs: Iterable[Job]) -> None:
+        for job in serial_jobs:
+            for attempt in range(1, retries + 2):
+                started = time.perf_counter()
+                try:
+                    result = run_job(job)
+                except Exception as exc:  # noqa: BLE001 — jobs may raise anything
+                    if attempt <= retries:
+                        record(job, RETRY, attempt=attempt, error=str(exc))
+                    else:
+                        record(job, FAILED, attempt=attempt, error=str(exc))
+                else:
+                    succeed(job, result, time.perf_counter() - started, attempt)
+                    break
+
+    if workers <= 1 or len(pending) <= 1:
+        run_serial(pending)
+        return report
+
+    # --- parallel path ----------------------------------------------------
+    remaining: dict[str, Job] = {job.key: job for job in pending}
+    attempts: dict[str, int] = {job.key: 0 for job in pending}
+    while remaining:
+        round_jobs = list(remaining.values())
+        timed_out = False
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(round_jobs)))
+        except _POOL_UNAVAILABLE:
+            run_serial(round_jobs)
+            return report
+        try:
+            futures = {pool.submit(_simulate_job, job): job for job in round_jobs}
+            for future, job in futures.items():
+                attempts[job.key] += 1
+                attempt = attempts[job.key]
+                try:
+                    result, wall = future.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    timed_out = True
+                    future.cancel()
+                    _fail_or_retry(record, remaining, job, attempt, retries,
+                                   f"timed out after {timeout}s")
+                except Exception as exc:  # worker crash or job exception
+                    _fail_or_retry(record, remaining, job, attempt, retries,
+                                   str(exc))
+                else:
+                    remaining.pop(job.key, None)
+                    succeed(job, result, wall, attempt)
+        except _POOL_UNAVAILABLE:
+            pool.shutdown(wait=False, cancel_futures=True)
+            run_serial(list(remaining.values()))
+            return report
+        finally:
+            # A timed-out worker cannot be joined promptly; abandon it.
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+    return report
+
+
+def _fail_or_retry(record, remaining: dict[str, Job], job: Job, attempt: int,
+                   retries: int, error: str) -> None:
+    if attempt <= retries:
+        record(job, RETRY, attempt=attempt, error=error)
+    else:
+        remaining.pop(job.key, None)
+        record(job, FAILED, attempt=attempt, error=error)

@@ -1,0 +1,147 @@
+"""Declarative job specs and campaign matrices.
+
+A :class:`Job` names everything one single-core simulation needs — the
+workload (by registered factory kind), trace length/seed, warm-up and the
+full :class:`~repro.config.system.SystemConfig` — and derives a
+deterministic content key from it, so identical jobs collide in the result
+store no matter which process or session produced them.  A
+:class:`Campaign` is an ordered set of jobs, usually built by expanding an
+apps × policies × SB-sizes × prefetchers matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator, Sequence
+
+from repro.config.system import (
+    CachePrefetcherKind,
+    StorePrefetchPolicy,
+    SystemConfig,
+)
+from repro.isa.trace import Trace
+from repro.sim.runner import result_key
+from repro.workloads import spec2017
+
+#: Workload factories jobs may reference by name.  Factories must be
+#: deterministic functions of ``(name, length=..., seed=...) -> Trace`` so a
+#: job's content key fully identifies its result.
+_FACTORIES: dict[str, Callable[..., Trace]] = {"spec2017": spec2017}
+
+
+def register_workload(kind: str, factory: Callable[..., Trace]) -> None:
+    """Register (or replace) a workload factory under ``kind``."""
+    _FACTORIES[kind] = factory
+
+
+def workload_factory(kind: str) -> Callable[..., Trace]:
+    """Resolve a registered factory; raises ``KeyError`` with the choices."""
+    try:
+        return _FACTORIES[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload kind {kind!r}; registered: {sorted(_FACTORIES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation cell of a campaign."""
+
+    workload: str
+    length: int
+    config: SystemConfig
+    seed: int = 1
+    warmup: int = 0
+    workload_kind: str = "spec2017"
+
+    @property
+    def key(self) -> str:
+        """Deterministic content key (shared with :class:`ResultsCache`)."""
+        return result_key(
+            self.workload, self.length, self.seed, self.config, self.warmup
+        )
+
+    def build_trace(self) -> Trace:
+        """Generate this job's workload trace."""
+        factory = workload_factory(self.workload_kind)
+        return factory(self.workload, length=self.length, seed=self.seed)
+
+    def describe(self) -> str:
+        """Short human-readable label for progress output."""
+        return (
+            f"{self.workload}/{self.config.store_prefetch.value}"
+            f"/SB{self.config.core.store_buffer_per_thread}"
+            f"/{self.config.cache_prefetcher.value}"
+        )
+
+
+@dataclass
+class Campaign:
+    """An ordered collection of jobs with a name for reporting."""
+
+    jobs: list[Job] = field(default_factory=list)
+    name: str = "campaign"
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    @staticmethod
+    def kind_for_factory(factory: Callable[..., Trace]) -> str:
+        """Map a factory callable back to its registered kind.
+
+        Unknown factories are auto-registered under their ``__name__`` so
+        ad-hoc factories (tests, notebooks) can ride through the engine.
+        """
+        for kind, known in _FACTORIES.items():
+            if known is factory:
+                return kind
+        kind = getattr(factory, "__name__", repr(factory))
+        register_workload(kind, factory)
+        return kind
+
+    @classmethod
+    def matrix(
+        cls,
+        apps: Sequence[str],
+        policies: Sequence[StorePrefetchPolicy | str] = ("at-commit",),
+        sb_sizes: Sequence[int] = (56,),
+        prefetchers: Sequence[CachePrefetcherKind | str] = ("stream",),
+        length: int = 30_000,
+        seed: int = 1,
+        warmup: int = 0,
+        base_config: SystemConfig | None = None,
+        workload_kind: str = "spec2017",
+        name: str = "campaign",
+    ) -> "Campaign":
+        """Expand an apps × policies × SB-sizes × prefetchers cross product.
+
+        Every figure in the paper is one slice of this matrix; deduplicated
+        job keys guarantee a cell shared by several slices simulates once.
+        """
+        base = base_config or SystemConfig()
+        jobs: list[Job] = []
+        seen: set[str] = set()
+        for app in apps:
+            for policy in policies:
+                for size in sb_sizes:
+                    for prefetcher in prefetchers:
+                        config = replace(
+                            base.with_sb(size).with_policy(policy),
+                            cache_prefetcher=CachePrefetcherKind(prefetcher),
+                        )
+                        job = Job(
+                            workload=app,
+                            length=length,
+                            config=config,
+                            seed=seed,
+                            warmup=warmup,
+                            workload_kind=workload_kind,
+                        )
+                        if job.key not in seen:
+                            seen.add(job.key)
+                            jobs.append(job)
+        return cls(jobs, name=name)

@@ -5,6 +5,7 @@ Commands
 
 ``run``        simulate one workload under one configuration
 ``compare``    run all store-prefetch policies on one workload, side by side
+``campaign``   run a workload × policy × SB × prefetcher matrix in parallel
 ``workloads``  list the modelled SPEC/PARSEC applications
 ``report``     compile benchmarks/results/*.json into a markdown report
 ``trace``      generate a workload trace and save it to a file
@@ -82,6 +83,102 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _split_csv(text: str) -> list[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _campaign_apps(text: str) -> list[str]:
+    if text == "all":
+        return spec2017_names()
+    if text == "sb-bound":
+        return spec2017_names(True)
+    return _split_csv(text)
+
+
+def _cmd_campaign(args) -> int:
+    from repro.campaign import (
+        Campaign,
+        ConsoleProgress,
+        ManifestError,
+        ResultStore,
+        load_manifest,
+        run_campaign,
+    )
+    from repro.sim.runner import ResultsCache
+
+    if args.manifest:
+        try:
+            campaign = load_manifest(args.manifest)
+        except (ManifestError, OSError, ValueError) as exc:
+            print(f"campaign: bad manifest {args.manifest}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        policies = (
+            [p.value for p in StorePrefetchPolicy]
+            if args.policies == "all"
+            else _split_csv(args.policies)
+        )
+        try:
+            campaign = Campaign.matrix(
+                apps=_campaign_apps(args.apps),
+                policies=policies,
+                sb_sizes=[int(size) for size in _split_csv(args.sb_sizes)],
+                prefetchers=_split_csv(args.prefetchers),
+                length=args.length,
+                seed=args.seed,
+                warmup=args.warmup,
+            )
+        except ValueError as exc:
+            print(f"campaign: bad flag value: {exc}", file=sys.stderr)
+            return 2
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    cache = ResultsCache(store=store)
+    print(f"campaign: {len(campaign)} job(s), "
+          f"workers={args.workers or 'auto'}, "
+          f"cache={'off' if store is None else args.cache_dir}")
+    report = run_campaign(
+        campaign,
+        cache=cache,
+        max_workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=None if args.quiet else ConsoleProgress(),
+    )
+    rows = []
+    for job in campaign:
+        result = report.get(job)
+        if result is None:
+            rows.append((job.workload, job.config.store_prefetch.value,
+                         job.config.core.store_buffer_per_thread,
+                         job.config.cache_prefetcher.value, "FAILED", "-", "-"))
+            continue
+        rows.append((
+            result.workload,
+            result.policy,
+            result.sb_entries,
+            job.config.cache_prefetcher.value,
+            result.cycles,
+            round(result.ipc, 3),
+            f"{result.sb_stall_ratio:.1%}",
+        ))
+    print()
+    print(format_table(
+        ("workload", "policy", "SB", "prefetcher", "cycles", "IPC", "SB-stall"),
+        rows,
+    ))
+    summary = report.telemetry.summary()
+    print(
+        f"\n{summary['completed']}/{summary['total']} jobs in "
+        f"{summary['elapsed_s']}s ({summary['jobs_per_sec']} jobs/s): "
+        f"{summary['simulated']} simulated, {summary['memory_hits']} memory "
+        f"hit(s), {summary['disk_hits']} disk hit(s), "
+        f"{summary['retries']} retrie(s), {summary['failures']} failure(s)"
+    )
+    for outcome in report.failures:
+        print(f"  FAILED {outcome.job.describe()}: {outcome.error}")
+    return 0 if report.ok else 1
+
+
 def _cmd_workloads(_args) -> int:
     spec_rows = [
         (name, "yes" if name in spec2017_names(True) else "",
@@ -139,6 +236,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(compare)
     compare.add_argument("--sb", type=int, default=14)
     compare.set_defaults(func=_cmd_compare)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a configuration matrix in parallel with a persistent cache",
+    )
+    campaign.add_argument(
+        "--apps", default="sb-bound",
+        help="comma list of SPEC apps, or 'all' / 'sb-bound' (default)")
+    campaign.add_argument(
+        "--policies", default="at-commit,spb",
+        help="comma list of store-prefetch policies, or 'all'")
+    campaign.add_argument("--sb-sizes", default="14,28,56",
+                          help="comma list of SB sizes")
+    campaign.add_argument("--prefetchers", default="stream",
+                          help="comma list of cache prefetchers")
+    campaign.add_argument("--length", type=int, default=30_000,
+                          help="trace length in micro-ops")
+    campaign.add_argument("--seed", type=int, default=1)
+    campaign.add_argument("--warmup", type=int, default=0,
+                          help="warm-up micro-ops excluded from statistics")
+    campaign.add_argument("--manifest",
+                          help="JSON manifest describing the matrix "
+                               "(overrides the matrix flags)")
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="worker processes (default: cores-1; 1 = serial)")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          help="per-job timeout in seconds (parallel only)")
+    campaign.add_argument("--retries", type=int, default=1,
+                          help="extra attempts for a failing job")
+    campaign.add_argument("--cache-dir", default="benchmarks/.cache",
+                          help="persistent result-store directory")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="disable the on-disk result store")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress live per-job progress lines")
+    campaign.set_defaults(func=_cmd_campaign)
 
     workloads = sub.add_parser("workloads", help="list modelled applications")
     workloads.set_defaults(func=_cmd_workloads)

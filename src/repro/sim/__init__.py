@@ -1,6 +1,6 @@
 """Simulation entry points and experiment sweeps."""
 
-from repro.sim.runner import simulate, simulate_multicore, ResultsCache
+from repro.sim.runner import simulate, simulate_multicore, ResultsCache, result_key
 from repro.sim.sweep import (
     policy_sweep,
     sb_size_sweep,
@@ -12,6 +12,7 @@ __all__ = [
     "simulate",
     "simulate_multicore",
     "ResultsCache",
+    "result_key",
     "policy_sweep",
     "sb_size_sweep",
     "normalized_performance",

@@ -69,9 +69,10 @@ def simulate(
     engine = build_store_prefetch_engine(config.store_prefetch, hierarchy, config.spb)
     start_cycle = 0
     if warmup > 0 and warmup < len(trace):
-        warm_part = Trace(list(trace)[:warmup], name=trace.name,
+        ops = list(trace)  # materialise once; both halves share the list
+        warm_part = Trace(ops[:warmup], name=trace.name,
                           regions=trace.regions)
-        trace = Trace(list(trace)[warmup:], name=trace.name,
+        trace = Trace(ops[warmup:], name=trace.name,
                       regions=trace.regions)
         warm_pipeline = Pipeline(config, warm_part, hierarchy, engine, seed=seed)
         warm_pipeline.run()
@@ -112,17 +113,67 @@ def simulate_multicore(
     return system.run()
 
 
-class ResultsCache:
-    """Memoises single-core runs per (workload name, length, seed, config).
+def result_key(
+    name: str, length: int, seed: int, config: SystemConfig, warmup: int = 0
+) -> str:
+    """Canonical content key of one single-core run.
 
     Workload traces are deterministic functions of (name, length, seed), so
-    the tuple identifies the run completely.  Benchmarks share one module
-    cache so, e.g., the at-commit/SB56 baseline is simulated once and reused
-    by every figure that normalises against it.
+    together with ``config.cache_key()`` (a stable hash of the whole machine
+    description) the string identifies the run completely.  Both the
+    in-process :class:`ResultsCache` and the on-disk result store in
+    :mod:`repro.campaign` key by it, so the two tiers share entries.
+    """
+    return f"{name}-L{length}-s{seed}-w{warmup}-{config.cache_key()}"
+
+
+class ResultsCache:
+    """Two-tier memoisation of single-core runs.
+
+    The first tier is an in-process dictionary; an optional second tier is a
+    persistent on-disk store (any object with ``load(key)``/``save(key,
+    result)``, normally :class:`repro.campaign.ResultStore`) so results
+    survive across sessions and a figure-suite re-run only simulates cells
+    whose configuration changed.  Benchmarks share one module cache so,
+    e.g., the at-commit/SB56 baseline is simulated once and reused by every
+    figure that normalises against it.
+
+    Hit/miss counters make the effect of each tier measurable:
+    ``memory_hits``, ``disk_hits`` and ``misses`` (= simulations performed).
     """
 
-    def __init__(self) -> None:
-        self._results: dict[tuple, SimResult] = {}
+    def __init__(self, store=None) -> None:
+        self._results: dict[str, SimResult] = {}
+        self.store = store
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    @property
+    def hits(self) -> int:
+        """Lookups served without simulating (memory + disk)."""
+        return self.memory_hits + self.disk_hits
+
+    def lookup(self, key: str) -> SimResult | None:
+        """Fetch a cached result by content key, or count a miss."""
+        result = self._results.get(key)
+        if result is not None:
+            self.memory_hits += 1
+            return result
+        if self.store is not None:
+            result = self.store.load(key)
+            if result is not None:
+                self.disk_hits += 1
+                self._results[key] = result
+                return result
+        self.misses += 1
+        return None
+
+    def insert(self, key: str, result: SimResult) -> None:
+        """Record a freshly simulated result in both tiers."""
+        self._results[key] = result
+        if self.store is not None:
+            self.store.save(key, result)
 
     def get(
         self,
@@ -132,13 +183,22 @@ class ResultsCache:
         config: SystemConfig,
         seed: int = 1,
     ) -> SimResult:
-        key = (name, length, seed, config.cache_key())
-        result = self._results.get(key)
+        key = result_key(name, length, seed, config)
+        result = self.lookup(key)
         if result is None:
             trace = trace_factory(name, length=length, seed=seed)
             result = simulate(trace, config)
-            self._results[key] = result
+            self.insert(key, result)
         return result
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for session summaries."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "entries": len(self._results),
+        }
 
     def clear(self) -> None:
         self._results.clear()

@@ -1,8 +1,15 @@
-"""Parameter sweeps shared by the figure benchmarks."""
+"""Parameter sweeps shared by the figure benchmarks.
+
+Both sweep helpers expand their matrix into :class:`repro.campaign.Campaign`
+jobs and execute them through :func:`repro.campaign.run_campaign`, so they
+share the campaign engine's cache tiers and can run cells in parallel via
+``max_workers``.
+"""
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Iterable, Sequence
 
 from repro.config.system import StorePrefetchPolicy, SystemConfig
@@ -14,12 +21,61 @@ PAPER_SB_SIZES = (14, 28, 56)
 IDEAL_SB_SIZE = 1024
 
 
-def geomean(values: Iterable[float]) -> float:
-    """Geometric mean (the paper's ALL / SB-BOUND aggregation)."""
-    values = [v for v in values if v > 0]
-    if not values:
+def geomean(values: Iterable[float], *, dropped_out: list | None = None) -> float:
+    """Geometric mean (the paper's ALL / SB-BOUND aggregation).
+
+    Non-positive values have no logarithm and are **dropped** before
+    aggregation, which skews the mean towards the surviving values; a
+    ``RuntimeWarning`` reporting the drop count is emitted whenever that
+    happens so silently-degenerate figures are visible.  Pass a list as
+    ``dropped_out`` to also collect the dropped values themselves.  An
+    empty (or fully dropped) input yields 0.0.
+    """
+    values = list(values)
+    kept = [v for v in values if v > 0]
+    dropped = [v for v in values if v <= 0]
+    if dropped_out is not None:
+        dropped_out.extend(dropped)
+    if dropped:
+        warnings.warn(
+            f"geomean dropped {len(dropped)} non-positive value(s) "
+            f"of {len(values)}; the aggregate covers only the rest",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if not kept:
         return 0.0
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    return math.exp(sum(math.log(v) for v in kept) / len(kept))
+
+
+def _matrix_sweep(
+    cache: ResultsCache,
+    trace_factory,
+    apps: Sequence[str],
+    configs,  # {inner key: SystemConfig}
+    length: int,
+    max_workers: int,
+) -> dict[str, dict]:
+    """Run ``apps`` × ``configs`` through the campaign engine."""
+    from repro.campaign import Campaign, Job, run_campaign
+
+    kind = Campaign.kind_for_factory(trace_factory)
+    jobs = [
+        Job(workload=app, length=length, config=config, workload_kind=kind)
+        for app in apps
+        for config in configs.values()
+    ]
+    report = run_campaign(Campaign(jobs), cache=cache, max_workers=max_workers)
+    return {
+        app: {
+            inner: report.results[
+                Job(workload=app, length=length, config=config,
+                    workload_kind=kind).key
+            ]
+            for inner, config in configs.items()
+        }
+        for app in apps
+    }
 
 
 def policy_sweep(
@@ -30,22 +86,19 @@ def policy_sweep(
     policies: Sequence[StorePrefetchPolicy | str],
     length: int,
     base_config: SystemConfig | None = None,
+    max_workers: int = 1,
 ) -> dict[str, dict[str, SimResult]]:
     """Run every app under every policy at one SB size.
 
-    Returns ``{app: {policy: SimResult}}``.
+    Returns ``{app: {policy: SimResult}}``.  ``max_workers`` > 1 runs the
+    cells through the campaign engine's process pool.
     """
     base = base_config or SystemConfig()
-    results: dict[str, dict[str, SimResult]] = {}
-    for app in apps:
-        per_policy: dict[str, SimResult] = {}
-        for policy in policies:
-            config = base.with_sb(sb_entries).with_policy(policy)
-            per_policy[StorePrefetchPolicy(policy).value] = cache.get(
-                trace_factory, app, length, config
-            )
-        results[app] = per_policy
-    return results
+    configs = {
+        StorePrefetchPolicy(policy).value: base.with_sb(sb_entries).with_policy(policy)
+        for policy in policies
+    }
+    return _matrix_sweep(cache, trace_factory, apps, configs, length, max_workers)
 
 
 def sb_size_sweep(
@@ -56,17 +109,14 @@ def sb_size_sweep(
     policy: StorePrefetchPolicy | str,
     length: int,
     base_config: SystemConfig | None = None,
+    max_workers: int = 1,
 ) -> dict[str, dict[int, SimResult]]:
     """Run every app under one policy across several SB sizes."""
     base = base_config or SystemConfig()
-    results: dict[str, dict[int, SimResult]] = {}
-    for app in apps:
-        per_size: dict[int, SimResult] = {}
-        for size in sb_sizes:
-            config = base.with_sb(size).with_policy(policy)
-            per_size[size] = cache.get(trace_factory, app, length, config)
-        results[app] = per_size
-    return results
+    configs = {
+        size: base.with_sb(size).with_policy(policy) for size in sb_sizes
+    }
+    return _matrix_sweep(cache, trace_factory, apps, configs, length, max_workers)
 
 
 def normalized_performance(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -64,7 +65,10 @@ def build_trace(spec: WorkloadSpec, length: int, seed: int = 1) -> Trace:
     """
     if length <= 0:
         raise ValueError("length must be positive")
-    rng = random.Random((hash(spec.name) & 0xFFFF_FFFF) ^ seed)
+    # crc32, not hash(): string hashing is randomised per process
+    # (PYTHONHASHSEED), which would make the "same" trace differ between
+    # sessions and break content-keyed result reuse across processes.
+    rng = random.Random(zlib.crc32(spec.name.encode()) ^ seed)
     total_weight = sum(phase.weight for phase in spec.phases)
     shares = [phase.weight / total_weight for phase in spec.phases]
     ops: list = []

@@ -108,7 +108,8 @@ class TestGeomean:
         assert geomean([]) == 0.0
 
     def test_ignores_nonpositive(self):
-        assert geomean([0.0, 2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.warns(RuntimeWarning, match="geomean dropped 1"):
+            assert geomean([0.0, 2.0, 8.0]) == pytest.approx(4.0)
 
 
 class TestSweeps:
