@@ -48,15 +48,36 @@ def default_worker_count() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
-def run_job(job: Job) -> SimResult:
-    """Simulate one job in-process (no cache tiers)."""
-    return simulate(job.build_trace(), job.config, warmup=job.warmup)
+def job_trace_path(trace_dir: str, job: Job) -> str:
+    """Where a job's per-job event capture lands under ``trace_dir``."""
+    return os.path.join(trace_dir, f"{job.key}.trace.jsonl")
 
 
-def _simulate_job(job: Job) -> tuple[SimResult, float]:
+def run_job(job: Job, trace_dir: str | None = None) -> SimResult:
+    """Simulate one job in-process (no cache tiers).
+
+    With ``trace_dir`` set, the run is traced and its full event stream is
+    written to :func:`job_trace_path` as JSONL — the campaign layer's
+    per-job capture.
+    """
+    if trace_dir is None:
+        return simulate(job.build_trace(), job.config, warmup=job.warmup)
+    from repro.trace import JsonlSink, Tracer
+
+    os.makedirs(trace_dir, exist_ok=True)
+    tracer = Tracer([JsonlSink(job_trace_path(trace_dir, job))])
+    try:
+        return simulate(
+            job.build_trace(), job.config, warmup=job.warmup, tracer=tracer
+        )
+    finally:
+        tracer.close()
+
+
+def _simulate_job(job: Job, trace_dir: str | None = None) -> tuple[SimResult, float]:
     """Pool worker: run one job and time it (module-level: picklable)."""
     started = time.perf_counter()
-    result = run_job(job)
+    result = run_job(job, trace_dir)
     return result, time.perf_counter() - started
 
 
@@ -88,6 +109,7 @@ class JobOutcome:
     attempts: int = 1
     wall_time: float = 0.0
     error: str | None = None
+    trace_path: str | None = None  # per-job event capture, when requested
 
 
 @dataclass
@@ -120,6 +142,7 @@ def run_campaign(
     retries: int = 1,
     progress: ProgressCallback | None = None,
     clock: Callable[[], float] = time.monotonic,
+    trace_dir: str | None = None,
 ) -> CampaignReport:
     """Run every job of ``campaign``, reusing cached results.
 
@@ -128,7 +151,11 @@ def run_campaign(
     ignored if ``cache`` is given — attach stores to the cache instead).
     ``retries`` is the number of *extra* attempts granted to a failing job
     before it is recorded as FAILED.  ``progress`` receives one
-    :class:`ProgressEvent` per occurrence.
+    :class:`ProgressEvent` per occurrence.  ``trace_dir`` arms per-job
+    event capture: every *simulated* job (cache hits have nothing to
+    capture) writes its full cycle-level event stream to
+    ``<trace_dir>/<job.key>.trace.jsonl`` and the path is recorded on the
+    job's outcome and counted in the telemetry.
     """
     jobs = list(campaign)
     if cache is None:
@@ -139,7 +166,7 @@ def run_campaign(
     report = CampaignReport(telemetry=telemetry)
     emit = progress if progress is not None else (lambda event: None)
 
-    def record(job: Job, status: str, **kwargs) -> None:
+    def record(job: Job, status: str, trace_path: str | None = None, **kwargs) -> None:
         if status != RETRY:
             report.outcomes.append(
                 JobOutcome(
@@ -148,6 +175,7 @@ def run_campaign(
                     attempts=kwargs.get("attempt", 1),
                     wall_time=kwargs.get("wall_time", 0.0),
                     error=kwargs.get("error"),
+                    trace_path=trace_path,
                 )
             )
         emit(telemetry.record(status, job.key, job.describe(), **kwargs))
@@ -155,7 +183,11 @@ def run_campaign(
     def succeed(job: Job, result: SimResult, wall: float, attempt: int) -> None:
         cache.insert(job.key, result)
         report.results[job.key] = result
-        record(job, SIMULATED, wall_time=wall, attempt=attempt)
+        trace_path = None
+        if trace_dir is not None:
+            trace_path = job_trace_path(trace_dir, job)
+            telemetry.traces_captured += 1
+        record(job, SIMULATED, trace_path=trace_path, wall_time=wall, attempt=attempt)
 
     # --- tier lookups -----------------------------------------------------
     pending: list[Job] = []
@@ -178,7 +210,7 @@ def run_campaign(
             for attempt in range(1, retries + 2):
                 started = time.perf_counter()
                 try:
-                    result = run_job(job)
+                    result = run_job(job, trace_dir)
                 except Exception as exc:  # noqa: BLE001 — jobs may raise anything
                     if attempt <= retries:
                         record(job, RETRY, attempt=attempt, error=str(exc))
@@ -204,7 +236,10 @@ def run_campaign(
             run_serial(round_jobs)
             return report
         try:
-            futures = {pool.submit(_simulate_job, job): job for job in round_jobs}
+            futures = {
+                pool.submit(_simulate_job, job, trace_dir): job
+                for job in round_jobs
+            }
             for future, job in futures.items():
                 attempts[job.key] += 1
                 attempt = attempts[job.key]

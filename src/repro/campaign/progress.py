@@ -59,6 +59,7 @@ class CampaignTelemetry:
     disk_hits: int = 0
     retries: int = 0
     failures: int = 0
+    traces_captured: int = 0  # jobs whose event stream was written to disk
     sim_wall_time: float = 0.0  # summed per-job simulation seconds
     _clock: Callable[[], float] = field(default=time.monotonic, repr=False)
     _started_at: float | None = field(default=None, repr=False)
@@ -134,6 +135,7 @@ class CampaignTelemetry:
             "disk_hits": self.disk_hits,
             "retries": self.retries,
             "failures": self.failures,
+            "traces_captured": self.traces_captured,
             "elapsed_s": round(self.elapsed, 3),
             "jobs_per_sec": round(self.jobs_per_sec, 3),
             "sim_wall_time_s": round(self.sim_wall_time, 3),

@@ -27,6 +27,7 @@ from repro.core.store_buffer import StoreBufferStats
 from repro.energy.model import EnergyBreakdown
 from repro.memory.cache import CacheStats
 from repro.memory.hierarchy import TrafficStats
+from repro.memory.mshr import MSHRStats
 from repro.prefetch.stats import PrefetchOutcomes
 from repro.stats.counters import PipelineStats, StallBreakdown
 from repro.stats.result import SimResult
@@ -45,6 +46,7 @@ _TYPES: dict[str, type] = {
         TrafficStats,
         CacheStats,
         PrefetchOutcomes,
+        MSHRStats,
         StoreBufferStats,
         StorePrefetchEngineStats,
         SpbStats,

@@ -40,18 +40,92 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-file", help="load a saved trace instead")
 
 
+def _build_run_tracer(args, config):
+    """Tracer + sinks for ``run``'s --trace/--trace-filter/--shadow-check.
+
+    Returns ``(tracer, ring, registry)`` — ``tracer`` is ``None`` when
+    tracing is fully off.  The kind filter restricts only the output sink;
+    a shadow-check registry always observes the complete stream.
+    """
+    from repro.trace import (
+        ChromeTraceSink,
+        FilteredSink,
+        JsonlSink,
+        RingBufferSink,
+        Tracer,
+        shadow_registry_for,
+    )
+
+    mode = args.trace
+    sinks = []
+    ring = None
+    if mode == "ring":
+        ring = RingBufferSink()
+        sinks.append(ring)
+    elif mode == "jsonl":
+        path = args.trace_out or f"{args.app}.trace.jsonl"
+        sinks.append(JsonlSink(path))
+    elif mode == "chrome":
+        path = args.trace_out or f"{args.app}.trace.json"
+        sinks.append(ChromeTraceSink(path))
+    registry = None
+    if args.shadow_check:
+        registry = shadow_registry_for(config)
+        if args.trace_filter:
+            # Registry needs the full stream: filter per output sink instead.
+            sinks = [FilteredSink(sink, args.trace_filter) for sink in sinks]
+        sinks.append(registry)
+        return Tracer(sinks), ring, registry
+    if not sinks:
+        return None, None, None
+    return Tracer(sinks, kinds=args.trace_filter), ring, registry
+
+
 def _cmd_run(args) -> int:
     config = SystemConfig.skylake(
         sb_entries=args.sb, store_prefetch=args.policy,
         cache_prefetcher=args.prefetcher,
     )
-    result = simulate(_build_trace(args), config)
+    tracer, ring, registry = _build_run_tracer(args, config)
+    result = simulate(_build_trace(args), config, tracer=tracer)
+    if tracer is not None:
+        tracer.close()
     rows = sorted(result.summary().items())
     print(format_table(("metric", "value"), rows))
     if result.detector_stats is not None:
         d = result.detector_stats
         print(f"\nSPB: {d.bursts_triggered}/{d.windows_checked} windows "
               f"triggered bursts over {d.stores_observed} stores")
+    if tracer is not None:
+        print(f"\ntrace: {tracer.emitted} event(s) captured"
+              + (f", {tracer.filtered} filtered out" if tracer.filtered else ""))
+        for sink in tracer.sinks:
+            inner = getattr(sink, "sink", None)  # unwrap FilteredSink
+            path = getattr(sink, "path", None) or getattr(inner, "path", None)
+            if path:
+                print(f"trace written to {path}")
+        if ring is not None:
+            counts = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(ring.counts.items())
+            )
+            print(f"event counts: {counts}")
+            for event in ring.tail(10):
+                print(f"  {event.to_json()}")
+    if registry is not None:
+        problems = registry.diff(
+            pipeline=result.pipeline,
+            sb_stats=result.sb_stats,
+            mshr_stats=result.extras.get("l1_mshr"),
+            traffic=result.traffic,
+            engine_stats=result.engine_stats,
+            detector_stats=result.detector_stats,
+        )
+        if problems:
+            print("\nshadow check FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print("\nshadow check: event-derived metrics match all counters")
     return 0
 
 
@@ -143,6 +217,7 @@ def _cmd_campaign(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         progress=None if args.quiet else ConsoleProgress(),
+        trace_dir=args.trace_dir,
     )
     rows = []
     for job in campaign:
@@ -174,6 +249,9 @@ def _cmd_campaign(args) -> int:
         f"hit(s), {summary['disk_hits']} disk hit(s), "
         f"{summary['retries']} retrie(s), {summary['failures']} failure(s)"
     )
+    if summary.get("traces_captured"):
+        print(f"per-job traces: {summary['traces_captured']} capture(s) "
+              f"under {args.trace_dir}")
     for outcome in report.failures:
         print(f"  FAILED {outcome.job.describe()}: {outcome.error}")
     return 0 if report.ok else 1
@@ -230,6 +308,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sb", type=int, default=56, help="store-buffer entries")
     run.add_argument("--prefetcher", default="stream",
                      choices=("none", "stream", "aggressive", "adaptive"))
+    run.add_argument("--trace", default="off",
+                     choices=("off", "ring", "jsonl", "chrome"),
+                     help="capture cycle-level events (ring buffer summary, "
+                          "JSONL stream, or Chrome trace_event JSON)")
+    run.add_argument("--trace-out",
+                     help="trace output path (default <app>.trace.json[l])")
+    run.add_argument("--trace-filter",
+                     help="comma list of event-kind globs, e.g. 'sb.*,spb.*'")
+    run.add_argument("--shadow-check", action="store_true",
+                     help="re-derive counters from the event stream and "
+                          "verify they match the hand-maintained statistics")
     run.set_defaults(func=_cmd_run)
 
     compare = sub.add_parser("compare", help="compare all policies")
@@ -271,6 +360,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable the on-disk result store")
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress live per-job progress lines")
+    campaign.add_argument("--trace-dir",
+                          help="capture each simulated job's cycle-level "
+                               "event stream as JSONL under this directory")
     campaign.set_defaults(func=_cmd_campaign)
 
     workloads = sub.add_parser("workloads", help="list modelled applications")

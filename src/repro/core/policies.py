@@ -40,13 +40,19 @@ class StorePrefetchEngine:
     policy = StorePrefetchPolicy.NONE
     unbounded_sb = False
 
-    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+    def __init__(self, hierarchy: MemoryHierarchy, tracer=None) -> None:
         self.hierarchy = hierarchy
         self.tracker = PrefetchOutcomeTracker()
         self.stats = StorePrefetchEngineStats()
+        self.tracer = tracer
         hierarchy.prefetch_tracker = self.tracker
 
     def _issue(self, block: int, cycle: int) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                cycle, "prefetch.issue", core=self.hierarchy.core_id, block=block
+            )
         result = self.hierarchy.store_permission(block, cycle, prefetch=True)
         if result.level != "L1":
             # Only requests that actually move data are classified for
@@ -112,9 +118,14 @@ class SpbPrefetch(AtCommitPrefetch):
 
     policy = StorePrefetchPolicy.SPB
 
-    def __init__(self, hierarchy: MemoryHierarchy, spb_config: SpbConfig | None = None) -> None:
-        super().__init__(hierarchy)
-        self.detector = SpbDetector(spb_config)
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        spb_config: SpbConfig | None = None,
+        tracer=None,
+    ) -> None:
+        super().__init__(hierarchy, tracer=tracer)
+        self.detector = SpbDetector(spb_config, tracer=tracer, core=hierarchy.core_id)
         page_bytes = hierarchy.config.page_bytes
         block_bytes = hierarchy.config.block_bytes
         self._page_bytes = page_bytes
@@ -122,7 +133,7 @@ class SpbPrefetch(AtCommitPrefetch):
 
     def on_store_committed(self, block: int, addr: int, cycle: int) -> None:
         super().on_store_committed(block, addr, cycle)
-        forward, backward = self.detector.observe(block)
+        forward, backward = self.detector.observe(block, cycle)
         if forward:
             targets = blocks_remaining_in_page(
                 addr, self._block_bytes, self._page_bytes
@@ -146,6 +157,12 @@ class SpbPrefetch(AtCommitPrefetch):
             return
         self.stats.burst_requests += 1
         self.stats.burst_blocks_requested += len(blocks)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                cycle, "spb.burst", core=self.hierarchy.core_id,
+                block=blocks[0], value=len(blocks),
+            )
         for block in blocks:
             self._issue(block, cycle)
 
@@ -161,17 +178,18 @@ def build_store_prefetch_engine(
     policy: StorePrefetchPolicy | str,
     hierarchy: MemoryHierarchy,
     spb_config: SpbConfig | None = None,
+    tracer=None,
 ) -> StorePrefetchEngine:
     """Instantiate the engine for a policy, wired to ``hierarchy``."""
     policy = StorePrefetchPolicy(policy)
     if policy == StorePrefetchPolicy.NONE:
-        return NoStorePrefetch(hierarchy)
+        return NoStorePrefetch(hierarchy, tracer=tracer)
     if policy == StorePrefetchPolicy.AT_EXECUTE:
-        return AtExecutePrefetch(hierarchy)
+        return AtExecutePrefetch(hierarchy, tracer=tracer)
     if policy == StorePrefetchPolicy.AT_COMMIT:
-        return AtCommitPrefetch(hierarchy)
+        return AtCommitPrefetch(hierarchy, tracer=tracer)
     if policy == StorePrefetchPolicy.SPB:
-        return SpbPrefetch(hierarchy, spb_config)
+        return SpbPrefetch(hierarchy, spb_config, tracer=tracer)
     if policy == StorePrefetchPolicy.IDEAL:
-        return IdealStorePrefetch(hierarchy)
+        return IdealStorePrefetch(hierarchy, tracer=tracer)
     raise ValueError(f"unknown store prefetch policy: {policy}")

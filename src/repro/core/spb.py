@@ -43,13 +43,15 @@ class SpbStats:
 class SpbDetector:
     """Contiguous-store-pattern detector with the paper's 67-bit budget."""
 
-    def __init__(self, config: SpbConfig | None = None) -> None:
+    def __init__(self, config: SpbConfig | None = None, tracer=None, core: int = 0) -> None:
         self.config = config or SpbConfig()
         self.last_block: int | None = None
         self.counter = 0
         self.backward_counter = 0
         self.store_count = 0
         self.stats = SpbStats()
+        self.tracer = tracer
+        self.core = core
         # Dynamic-size variant state: estimate of stores per block, adapted
         # with hysteresis at each window boundary (paper §IV-C found this
         # variant loses to the fixed N/8 threshold).
@@ -86,12 +88,18 @@ class SpbDetector:
         stores_per_block = max(1.0, self._size_estimate)
         return max(1, round(self.config.check_interval / stores_per_block))
 
-    def _end_window(self) -> tuple[bool, bool]:
+    def _end_window(self, cycle: int | None = None) -> tuple[bool, bool]:
         """Check the counters at a window boundary; returns (fwd, bwd)."""
         self.stats.windows_checked += 1
         threshold = self._threshold()
         forward = self.counter >= threshold
         backward = self.config.backward and self.backward_counter >= threshold
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                cycle or 0, "spb.window", core=self.core,
+                value=self.counter, tag="hit" if (forward or backward) else "miss",
+            )
         if self.config.dynamic_size and self._window_blocks:
             observed = self.config.check_interval / self._window_blocks
             # Hysteresis: move the estimate halfway toward the observation.
@@ -106,7 +114,7 @@ class SpbDetector:
             self.stats.backward_bursts_triggered += 1
         return forward, backward
 
-    def observe(self, block: int) -> tuple[bool, bool]:
+    def observe(self, block: int, cycle: int | None = None) -> tuple[bool, bool]:
         """Feed one committed store's block address.
 
         Returns ``(forward_burst, backward_burst)`` — whether this store
@@ -119,7 +127,7 @@ class SpbDetector:
         self.stats.stores_observed += 1
         self._update_counters(block)
         if self.store_count >= self.config.check_interval:
-            return self._end_window()
+            return self._end_window(cycle)
         self.store_count += 1
         return False, False
 

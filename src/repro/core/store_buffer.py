@@ -62,6 +62,8 @@ class StoreBuffer:
         capacity: int,
         unbounded: bool = False,
         coalescing: bool = False,
+        tracer=None,
+        core: int = 0,
     ) -> None:
         if capacity <= 0:
             raise ValueError("store buffer needs at least one entry")
@@ -71,6 +73,8 @@ class StoreBuffer:
         self._entries: deque[StoreBufferEntry] = deque()
         self._blocks: dict[int, int] = {}  # block -> number of buffered stores
         self.stats = StoreBufferStats()
+        self.tracer = tracer
+        self.core = core
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -98,6 +102,12 @@ class StoreBuffer:
         ):
             self.stats.coalesced += 1
             self.stats.pushes += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    entry.commit_cycle, "sb.coalesce", core=self.core,
+                    block=entry.block, pc=entry.pc,
+                )
             return True
         if self.is_full:
             self.stats.full_events += 1
@@ -107,13 +117,23 @@ class StoreBuffer:
         self.stats.pushes += 1
         if len(self._entries) > self.stats.max_occupancy:
             self.stats.max_occupancy = len(self._entries)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                entry.commit_cycle, "sb.insert", core=self.core,
+                block=entry.block, pc=entry.pc, value=len(self._entries),
+            )
         return False
 
     def head(self) -> StoreBufferEntry | None:
         return self._entries[0] if self._entries else None
 
-    def pop(self) -> StoreBufferEntry:
-        """Drain the head store (it has performed in L1)."""
+    def pop(self, cycle: int | None = None) -> StoreBufferEntry:
+        """Drain the head store (it has performed in L1).
+
+        ``cycle`` stamps the drain event when tracing; it defaults to the
+        entry's commit cycle so untimed callers stay valid.
+        """
         if not self._entries:
             raise IndexError("store buffer empty")
         entry = self._entries.popleft()
@@ -123,6 +143,13 @@ class StoreBuffer:
         else:
             del self._blocks[entry.block]
         self.stats.drains += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                entry.commit_cycle if cycle is None else cycle,
+                "sb.drain", core=self.core,
+                block=entry.block, value=len(self._entries),
+            )
         return entry
 
     def forwards(self, block: int) -> bool:

@@ -51,6 +51,17 @@ _WRONG_PATH_STORE_FRACTION = 0.08
 _MAX_WRONG_PATH_ACCESSES = 8
 
 
+def _op_class(op) -> str:
+    """Event tag for a µop: the commit-counter class it belongs to."""
+    if op.is_store:
+        return "store"
+    if op.is_load:
+        return "load"
+    if op.is_branch:
+        return "branch"
+    return "alu"
+
+
 class Pipeline:
     """One hardware thread's view of the core."""
 
@@ -62,6 +73,7 @@ class Pipeline:
         engine: StorePrefetchEngine,
         seed: int = 7,
         start_cycle: int = 0,
+        tracer=None,
     ) -> None:
         core = config.core
         self.config = config
@@ -78,8 +90,11 @@ class Pipeline:
         self.block_bytes = config.caches.block_bytes
         # The senior (post-commit) portion of the store queue.  Capacity is
         # enforced at dispatch, so the deque itself never overflows.
+        self.tracer = tracer
+        self._core_id = hierarchy.core_id
         self.sb = StoreBuffer(
-            self.sq_capacity, unbounded=True, coalescing=core.sb_coalescing
+            self.sq_capacity, unbounded=True, coalescing=core.sb_coalescing,
+            tracer=tracer, core=hierarchy.core_id,
         )
         self.predictor = build_branch_predictor(core.branch_predictor)
         self._trace_annotated = isinstance(self.predictor, TraceAnnotatedPredictor)
@@ -133,7 +148,7 @@ class Pipeline:
             return False
         if self.hierarchy.has_write_permission(head.block):
             self.hierarchy.perform_store(head.block, cycle)
-        self.sb.pop()
+        self.sb.pop(cycle)
         self._sq_occupancy -= 1
         remaining = self._sq_blocks[head.block] - 1
         if remaining:
@@ -184,6 +199,12 @@ class Pipeline:
             self._rob.popleft()
             stats.committed_uops += 1
             committed += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    cycle, "uop.commit", core=self._core_id,
+                    pc=op.pc, value=index, tag=_op_class(op),
+                )
         return committed
 
     def _inject_wrong_path(self, resolve_delay: int) -> None:
@@ -270,6 +291,18 @@ class Pipeline:
             heapq.heappush(self._iq_release, issue)
             self._ip += 1
             dispatched += 1
+            tracer = self.tracer
+            if tracer is not None:
+                kind_tag = _op_class(op)
+                tracer.emit(
+                    cycle, "uop.dispatch", core=self._core_id, pc=op.pc,
+                    addr=op.addr if (op.is_load or op.is_store) else None,
+                    value=index, tag=kind_tag,
+                )
+                tracer.emit(
+                    issue, "uop.issue", core=self._core_id, value=index,
+                    tag=kind_tag,
+                )
             if op.is_branch:
                 if self._trace_annotated:
                     mispredicted = op.mispredicted
@@ -280,6 +313,11 @@ class Pipeline:
                 if mispredicted:
                     stats.mispredicted_branches += 1
                     self._fetch_resume = completion + self.mispredict_penalty
+                    if tracer is not None:
+                        tracer.emit(
+                            cycle, "frontend.redirect", core=self._core_id,
+                            pc=op.pc, value=self._fetch_resume,
+                        )
                     self._inject_wrong_path(completion - cycle)
                     break
         return dispatched, None, 0
@@ -289,6 +327,13 @@ class Pipeline:
     ) -> None:
         """Charge ``cycles`` of dispatch stall to the blocking resource."""
         stats = self.stats
+        tracer = self.tracer
+        if tracer is not None and block_reason is not None:
+            tracer.emit(
+                self.cycle, "stall.dispatch", core=self._core_id,
+                tag=block_reason, value=cycles,
+                pc=blocked_pc if block_reason == "sb" else None,
+            )
         if block_reason == "sb":
             stats.stalls.sb_full += cycles
             stats.sb_stall_cycles += cycles

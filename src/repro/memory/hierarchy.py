@@ -138,13 +138,15 @@ class MemoryHierarchy:
         uncore: SharedUncore | None = None,
         core_id: int = 0,
         prefetcher=None,
+        tracer=None,
     ) -> None:
         self.config = config
         self.core_id = core_id
+        self.tracer = tracer
         self.uncore = uncore or SharedUncore(config, num_cores=1)
         self.l1d = SetAssociativeCache(config.l1d)
         self.l2 = SetAssociativeCache(config.l2)
-        self.l1_mshr = MSHRFile(config.l1d.mshr_entries)
+        self.l1_mshr = MSHRFile(config.l1d.mshr_entries, tracer=tracer, core=core_id)
         self.tlb: TLB | None = None
         if config.tlb_entries:
             self.tlb = TLB(
@@ -259,15 +261,25 @@ class MemoryHierarchy:
             if in_flight is not None:
                 # The line was installed at request time but the fill is
                 # still travelling: the load waits for the data.
-                return AccessResult(completion=in_flight, level="L2", coalesced=True)
-            if self.l1d.was_prefetched(block):
-                self.l1d.clear_prefetched(block)
-                if self.prefetcher is not None:
-                    self.prefetcher.on_useful_prefetch()
-            self._run_prefetcher(block, True, False, cycle)
-            return AccessResult(completion=cycle + self.config.l1d.latency, level="L1")
-        result = self._miss_path(block, cycle, want_write=False, prefetch=False)
-        self._run_prefetcher(block, False, False, cycle)
+                result = AccessResult(completion=in_flight, level="L2", coalesced=True)
+            else:
+                if self.l1d.was_prefetched(block):
+                    self.l1d.clear_prefetched(block)
+                    if self.prefetcher is not None:
+                        self.prefetcher.on_useful_prefetch()
+                self._run_prefetcher(block, True, False, cycle)
+                result = AccessResult(
+                    completion=cycle + self.config.l1d.latency, level="L1"
+                )
+        else:
+            result = self._miss_path(block, cycle, want_write=False, prefetch=False)
+            self._run_prefetcher(block, False, False, cycle)
+        tracer = self.tracer
+        if tracer is not None and not wrong_path:
+            tracer.emit(
+                cycle, "cache.load", core=self.core_id, block=block,
+                value=result.completion, tag=result.level,
+            )
         return result
 
     def store_permission(
@@ -297,8 +309,8 @@ class MemoryHierarchy:
                 self.l1d.set_state(block, MESIState.M)
             if not prefetch:
                 self._run_prefetcher(block, True, True, cycle)
-            return AccessResult(completion=cycle + self.config.l1d.latency, level="L1")
-        if state == MESIState.S:
+            result = AccessResult(completion=cycle + self.config.l1d.latency, level="L1")
+        elif state == MESIState.S:
             # Upgrade: invalidate remote sharers through the directory.
             extra, _ = self.uncore.fetch(
                 self.core_id, block, cycle, want_write=True, prefetch=prefetch
@@ -312,10 +324,28 @@ class MemoryHierarchy:
                 self.l2.set_state(block, MESIState.M)
             if not prefetch:
                 self._run_prefetcher(block, True, True, cycle)
-            return AccessResult(completion=completion, level="L3")
-        result = self._miss_path(block, cycle, want_write=True, prefetch=prefetch)
-        if not prefetch:
-            self._run_prefetcher(block, False, True, cycle)
+            result = AccessResult(completion=completion, level="L3")
+        else:
+            result = self._miss_path(block, cycle, want_write=True, prefetch=prefetch)
+            if not prefetch:
+                self._run_prefetcher(block, False, True, cycle)
+        tracer = self.tracer
+        if tracer is not None:
+            if not prefetch:
+                tracer.emit(
+                    cycle, "cache.store", core=self.core_id, block=block,
+                    value=result.completion, tag=result.level,
+                )
+            elif result.level == "L1":
+                # Discarded at the controller — the paper's PopReq.
+                tracer.emit(
+                    cycle, "prefetch.discard", core=self.core_id, block=block
+                )
+            else:
+                tracer.emit(
+                    result.completion, "prefetch.fill", core=self.core_id,
+                    block=block, tag=result.level,
+                )
         return result
 
     def prefetch_block(
@@ -325,7 +355,14 @@ class MemoryHierarchy:
         state = self.l1d.lookup(block, cycle, count_tag=True)
         if state is not None and (not want_write or state in WRITABLE_STATES):
             return None  # already resident; nothing to do
-        return self._miss_path(block, cycle, want_write=want_write, prefetch=True)
+        result = self._miss_path(block, cycle, want_write=want_write, prefetch=True)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                result.completion, "prefetch.fill", core=self.core_id,
+                block=block, tag=result.level,
+            )
+        return result
 
     def perform_store(self, block: int, cycle: int) -> None:
         """Write a draining store into a block L1 already owns.
@@ -346,6 +383,12 @@ class MemoryHierarchy:
             self.l1d.clear_prefetched(block)
             if self.prefetcher is not None:
                 self.prefetcher.on_useful_prefetch()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                cycle, "cache.store", core=self.core_id, block=block,
+                value=cycle, tag="L1",
+            )
         self._run_prefetcher(block, True, True, cycle)
 
     def fill_arrival(self, block: int, cycle: int) -> int | None:

@@ -44,7 +44,7 @@ class _Entry:
 class MSHRFile:
     """Bounded set of in-flight misses keyed by block number."""
 
-    def __init__(self, entries: int) -> None:
+    def __init__(self, entries: int, tracer=None, core: int = 0) -> None:
         if entries <= 0:
             raise ValueError("MSHR file needs at least one entry")
         self.capacity = entries
@@ -52,12 +52,20 @@ class MSHRFile:
         self._prefetch: list[int] = []  # heap of prefetch completion cycles
         self._by_block: dict[int, _Entry] = {}
         self.stats = MSHRStats()
+        self.tracer = tracer
+        self.core = core
+
+    def _release(self, cycle: int, completion: int) -> None:
+        """Trace hook: one in-flight heap entry retired."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(cycle, "mshr.release", core=self.core, value=completion)
 
     def _expire(self, cycle: int) -> None:
         while self._demand and self._demand[0] <= cycle:
-            heapq.heappop(self._demand)
+            self._release(cycle, heapq.heappop(self._demand))
         while self._prefetch and self._prefetch[0] <= cycle:
-            heapq.heappop(self._prefetch)
+            self._release(cycle, heapq.heappop(self._prefetch))
         if len(self._by_block) > 4 * self.capacity:
             self._by_block = {
                 block: entry
@@ -94,6 +102,12 @@ class MSHRFile:
             entry.prefetch = False
             heapq.heappush(self._demand, entry.completion)
             self.stats.promotions += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    cycle, "mshr.promote", core=self.core,
+                    block=block, value=entry.completion,
+                )
         return entry.completion
 
     def allocate(
@@ -110,6 +124,9 @@ class MSHRFile:
         existing = self.in_flight(block, cycle)
         if existing is not None:
             self.stats.coalesced += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(cycle, "mshr.coalesce", core=self.core, block=block)
             if not prefetch:
                 return self.promote(block, cycle) or existing
             return existing
@@ -118,12 +135,14 @@ class MSHRFile:
         if prefetch:
             if len(self._demand) + len(self._prefetch) >= self.capacity:
                 earliest = self._pop_earliest()
+                self._release(cycle, earliest)
                 start = max(cycle, earliest)
                 self.stats.full_delays += 1
                 self.stats.total_delay_cycles += start - cycle
         else:
             if len(self._demand) >= self.capacity:
                 earliest = heapq.heappop(self._demand)
+                self._release(cycle, earliest)
                 start = max(cycle, earliest)
                 self.stats.full_delays += 1
                 self.stats.total_delay_cycles += start - cycle
@@ -134,6 +153,12 @@ class MSHRFile:
             self.stats.prefetch_allocations += 1
         else:
             self.stats.allocations += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                cycle, "mshr.alloc", core=self.core, block=block,
+                value=completion, tag="prefetch" if prefetch else None,
+            )
         return completion
 
     def _pop_earliest(self) -> int:

@@ -48,7 +48,13 @@ class MulticoreResult:
 class MulticoreSystem:
     """Builds and runs one multi-threaded workload."""
 
-    def __init__(self, config: SystemConfig, traces: list[Trace], seed: int = 7) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: list[Trace],
+        seed: int = 7,
+        tracer=None,
+    ) -> None:
         if not traces:
             raise ValueError("need at least one per-thread trace")
         self.config = config
@@ -60,12 +66,16 @@ class MulticoreSystem:
                 uncore=self.uncore,
                 core_id=core_id,
                 prefetcher=build_prefetcher(config.cache_prefetcher),
+                tracer=tracer,
             )
             engine = build_store_prefetch_engine(
-                config.store_prefetch, hierarchy, config.spb
+                config.store_prefetch, hierarchy, config.spb, tracer=tracer
             )
             self.pipelines.append(
-                Pipeline(config, trace, hierarchy, engine, seed=seed + core_id)
+                Pipeline(
+                    config, trace, hierarchy, engine,
+                    seed=seed + core_id, tracer=tracer,
+                )
             )
 
     def run(self, max_cycles: int = 500_000_000) -> MulticoreResult:

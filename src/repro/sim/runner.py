@@ -54,14 +54,33 @@ def _reset_measurement_state(hierarchy: MemoryHierarchy, engine) -> None:
         engine.detector.stats = SpbStats()
 
 
+def _attach_tracer(tracer, hierarchy: MemoryHierarchy, engine) -> None:
+    """Point every event producer in one core's slice at ``tracer``.
+
+    Attachment is a plain attribute write on each producer (the convention
+    :func:`repro.trace.tracer.attach_tracer` documents), so the measured
+    phase of a warmed-up run can start tracing after the warm-up ran
+    untraced — the event stream then covers exactly the cycles the reset
+    counters cover, which is what the shadow check compares against.
+    """
+    hierarchy.tracer = tracer
+    hierarchy.l1_mshr.tracer = tracer
+    engine.tracer = tracer
+    if isinstance(engine, SpbPrefetch):
+        engine.detector.tracer = tracer
+
+
 def simulate(
-    trace: Trace, config: SystemConfig, seed: int = 7, warmup: int = 0
+    trace: Trace, config: SystemConfig, seed: int = 7, warmup: int = 0,
+    tracer=None,
 ) -> SimResult:
     """Run ``trace`` on the machine described by ``config``.
 
     When ``warmup`` is positive, the first ``warmup`` µops run first to warm
     the caches, TLB and predictor state; every statistic then resets and
-    only the remainder of the trace is measured.
+    only the remainder of the trace is measured.  ``tracer`` (a
+    :class:`repro.trace.Tracer`, or ``None`` for zero-overhead silence)
+    observes the measured portion only, mirroring the counters.
     """
     hierarchy = MemoryHierarchy(
         config.caches, prefetcher=build_prefetcher(config.cache_prefetcher)
@@ -78,8 +97,11 @@ def simulate(
         warm_pipeline.run()
         start_cycle = warm_pipeline.cycle
         _reset_measurement_state(hierarchy, engine)
+    if tracer is not None:
+        _attach_tracer(tracer, hierarchy, engine)
     pipeline = Pipeline(
-        config, trace, hierarchy, engine, seed=seed, start_cycle=start_cycle
+        config, trace, hierarchy, engine, seed=seed, start_cycle=start_cycle,
+        tracer=tracer,
     )
     stats = pipeline.run()
     outcomes = engine.tracker.finalize()
@@ -102,14 +124,15 @@ def simulate(
     )
     result.energy = EnergyModel().evaluate(result)
     result.extras["regions"] = stats.stalls_by_region(trace.region_of)
+    result.extras["l1_mshr"] = hierarchy.l1_mshr.stats
     return result
 
 
 def simulate_multicore(
-    traces: Sequence[Trace], config: SystemConfig, seed: int = 7
+    traces: Sequence[Trace], config: SystemConfig, seed: int = 7, tracer=None
 ) -> MulticoreResult:
     """Run one per-core trace each on a coherent multi-core system."""
-    system = MulticoreSystem(config, list(traces), seed=seed)
+    system = MulticoreSystem(config, list(traces), seed=seed, tracer=tracer)
     return system.run()
 
 

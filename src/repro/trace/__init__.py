@@ -1,0 +1,48 @@
+"""repro.trace — opt-in cycle-level event tracing and derived metrics.
+
+The package has four layers:
+
+* :mod:`repro.trace.events` — the typed :class:`TraceEvent` record and the
+  catalogue of event kinds the simulator emits.
+* :mod:`repro.trace.tracer` — the :class:`Tracer` (filtered fan-out to
+  sinks) and the ``tracer``-attribute attachment convention that keeps the
+  disabled path at a single ``is not None`` check per hook site.
+* :mod:`repro.trace.sinks` — ring buffer, JSONL and Chrome ``trace_event``
+  sinks.
+* :mod:`repro.trace.metrics` — :class:`MetricsRegistry`, which re-derives
+  the simulator's counters from the event stream and shadow-checks the two
+  against each other.
+
+:mod:`repro.trace.litmus` builds on the same machinery to replay TSO litmus
+patterns (MP, SB, coherence) through the real store buffer and MESI
+hierarchy.
+"""
+
+from repro.trace.events import ALL_KINDS, TraceEvent, events_digest, lines_digest
+from repro.trace.metrics import MetricsRegistry, ShadowCheckError, shadow_registry_for
+from repro.trace.sinks import (
+    ChromeTraceSink,
+    CollectorSink,
+    FilteredSink,
+    JsonlSink,
+    RingBufferSink,
+)
+from repro.trace.tracer import Tracer, attach_tracer, parse_filter
+
+__all__ = [
+    "ALL_KINDS",
+    "TraceEvent",
+    "events_digest",
+    "lines_digest",
+    "MetricsRegistry",
+    "ShadowCheckError",
+    "shadow_registry_for",
+    "ChromeTraceSink",
+    "CollectorSink",
+    "FilteredSink",
+    "JsonlSink",
+    "RingBufferSink",
+    "Tracer",
+    "attach_tracer",
+    "parse_filter",
+]

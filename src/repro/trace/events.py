@@ -1,0 +1,161 @@
+"""Typed event records for the cycle-level tracing layer.
+
+Every observable occurrence in the simulator is one :class:`TraceEvent`: a
+cycle stamp, a dotted event *kind* (``sb.insert``, ``cache.load``, ...), the
+core it happened on, and a small fixed set of optional payload fields.  The
+schema is deliberately flat — one record type for every producer — so sinks
+can serialise events without per-kind code and filters can work on the kind
+string alone (see :mod:`repro.trace.tracer`).
+
+The kinds mirror the stages the paper's figures attribute cycles to:
+
+===================  ==========================================================
+kind                 meaning (payload)
+===================  ==========================================================
+``uop.dispatch``     µop entered the back end (``pc``, ``addr``, ``value`` =
+                     trace index, ``tag`` = op class)
+``uop.issue``        µop's issue cycle (``value`` = trace index)
+``uop.commit``       µop retired (``pc``, ``value`` = trace index, ``tag`` =
+                     op class)
+``frontend.redirect`` branch mispredict redirected fetch (``pc``, ``value`` =
+                     fetch-resume cycle)
+``stall.dispatch``   dispatch blocked (``tag`` = resource, ``value`` = cycles
+                     charged, ``pc`` = blocking store for SB stalls)
+``sb.insert``        store entered the store buffer (``block``, ``pc``,
+                     ``value`` = occupancy after insert)
+``sb.coalesce``      store merged into the SB tail entry (``block``, ``pc``)
+``sb.drain``         SB head performed its L1 write (``block``, ``value`` =
+                     occupancy after drain)
+``spb.window``       SPB detector closed an observation window (``value`` =
+                     counter, ``tag`` = ``"hit"``/``"miss"``)
+``spb.burst``        SPB burst sent to the L1 controller (``block`` = trigger
+                     block, ``value`` = blocks requested)
+``cache.load``       demand load resolved (``block``, ``tag`` = level,
+                     ``value`` = completion cycle)
+``cache.store``      demand write-permission request or SB drain write
+                     (``block``, ``tag`` = level, ``value`` = completion)
+``prefetch.issue``   store-prefetch engine issued a request (``block``)
+``prefetch.fill``    prefetched ownership arrives (``block``, ``tag`` = level,
+                     ``cycle`` = fill-completion cycle)
+``prefetch.discard`` prefetch discarded at the controller — block already
+                     writable, the paper's PopReq (``block``)
+``mshr.alloc``       L1 MSHR entry allocated (``block``, ``value`` =
+                     completion cycle, ``tag`` = ``"prefetch"`` if one)
+``mshr.coalesce``    request coalesced onto an in-flight entry (``block``)
+``mshr.promote``     demand hit promoted a queued prefetch (``block``,
+                     ``value`` = new completion)
+``mshr.release``     an in-flight entry retired (``value`` = its completion)
+===================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+# µop lifecycle
+UOP_DISPATCH = "uop.dispatch"
+UOP_ISSUE = "uop.issue"
+UOP_COMMIT = "uop.commit"
+FRONTEND_REDIRECT = "frontend.redirect"
+STALL_DISPATCH = "stall.dispatch"
+
+# store buffer
+SB_INSERT = "sb.insert"
+SB_COALESCE = "sb.coalesce"
+SB_DRAIN = "sb.drain"
+
+# SPB detector / bursts
+SPB_WINDOW = "spb.window"
+SPB_BURST = "spb.burst"
+
+# cache hierarchy
+CACHE_LOAD = "cache.load"
+CACHE_STORE = "cache.store"
+
+# prefetching
+PREFETCH_ISSUE = "prefetch.issue"
+PREFETCH_FILL = "prefetch.fill"
+PREFETCH_DISCARD = "prefetch.discard"
+
+# MSHRs
+MSHR_ALLOC = "mshr.alloc"
+MSHR_COALESCE = "mshr.coalesce"
+MSHR_PROMOTE = "mshr.promote"
+MSHR_RELEASE = "mshr.release"
+
+#: Every kind the simulator emits, for filter validation and docs.
+ALL_KINDS = (
+    UOP_DISPATCH,
+    UOP_ISSUE,
+    UOP_COMMIT,
+    FRONTEND_REDIRECT,
+    STALL_DISPATCH,
+    SB_INSERT,
+    SB_COALESCE,
+    SB_DRAIN,
+    SPB_WINDOW,
+    SPB_BURST,
+    CACHE_LOAD,
+    CACHE_STORE,
+    PREFETCH_ISSUE,
+    PREFETCH_FILL,
+    PREFETCH_DISCARD,
+    MSHR_ALLOC,
+    MSHR_COALESCE,
+    MSHR_PROMOTE,
+    MSHR_RELEASE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One cycle-stamped simulator occurrence."""
+
+    cycle: int
+    kind: str
+    core: int = 0
+    pc: int | None = None
+    addr: int | None = None
+    block: int | None = None
+    value: int | None = None
+    tag: str | None = None
+
+    def to_dict(self) -> dict:
+        """Compact dictionary with the unset payload fields dropped."""
+        record = {"cycle": self.cycle, "kind": self.kind, "core": self.core}
+        for name in ("pc", "addr", "block", "value", "tag"):
+            field_value = getattr(self, name)
+            if field_value is not None:
+                record[name] = field_value
+        return record
+
+    def to_json(self) -> str:
+        """Canonical one-line JSON (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def events_digest(events: Iterable[TraceEvent]) -> str:
+    """SHA-256 over the canonical JSONL form of an event stream.
+
+    The digest is what the golden-trace regression test pins: it changes if
+    and only if any event's cycle, ordering or payload changes, so a timing
+    regression is caught at event granularity rather than in figure
+    aggregates.
+    """
+    digest = hashlib.sha256()
+    for event in events:
+        digest.update(event.to_json().encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def lines_digest(lines: Iterable[str]) -> str:
+    """SHA-256 over already-serialised JSONL lines (golden-file side)."""
+    digest = hashlib.sha256()
+    for line in lines:
+        digest.update(line.strip().encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -1,0 +1,241 @@
+"""Litmus-test harness: TSO ordering checks through the real SB + MESI.
+
+The timing simulator never models data values, so aggregate counters cannot
+tell whether the store buffer actually *behaves* like an x86-TSO store
+buffer — FIFO drain, store-to-load forwarding from the youngest matching
+entry, same-address coherence.  This harness replays the classic litmus
+patterns (message passing, store buffering, coherence) through the real
+:class:`~repro.core.store_buffer.StoreBuffer` and the real
+:class:`~repro.memory.hierarchy.MemoryHierarchy`/:class:`SharedUncore`
+MESI machinery, tracking values alongside: a store's value becomes globally
+visible exactly when its SB entry drains and performs its L1 write, and a
+load reads either its own core's youngest buffered store (forwarding) or
+the last globally performed value.
+
+Drains are per-core FIFO (the SB's order) and globally interleaved by a
+seeded scheduler, so the set of reachable outcomes over many seeds is the
+set TSO allows; a forbidden outcome showing up means a store-order bug in
+the SB or the coherence plumbing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.config.cache import CacheHierarchyConfig
+from repro.core.store_buffer import StoreBuffer, StoreBufferEntry
+from repro.memory.hierarchy import MemoryHierarchy, SharedUncore
+
+#: Spread litmus locations across distinct cache blocks by default.
+_LOC_STRIDE = 256
+
+
+@dataclass(frozen=True)
+class LitmusOp:
+    """One step of a litmus thread program."""
+
+    kind: str  # "st", "ld" or "fence"
+    loc: str | None = None
+    value: int | None = None
+    reg: str | None = None
+
+
+def st(loc: str, value: int) -> LitmusOp:
+    """Store ``value`` to ``loc`` (buffered; performs later, in FIFO order)."""
+    return LitmusOp("st", loc=loc, value=value)
+
+
+def ld(reg: str, loc: str) -> LitmusOp:
+    """Load ``loc`` into ``reg`` (forwards from the local SB if possible)."""
+    return LitmusOp("ld", loc=loc, reg=reg)
+
+
+def fence() -> LitmusOp:
+    """Full fence: drain this core's SB before the next op (MFENCE)."""
+    return LitmusOp("fence")
+
+
+class _LitmusCore:
+    """One thread: a program, a real store buffer, a private cache view."""
+
+    def __init__(
+        self,
+        core_id: int,
+        program: Sequence[LitmusOp],
+        machine: "LitmusMachine",
+        sb_entries: int,
+        coalescing: bool,
+    ) -> None:
+        self.core_id = core_id
+        self.program = list(program)
+        self.machine = machine
+        self.pc = 0
+        self.sb = StoreBuffer(sb_entries, coalescing=coalescing)
+        self.hierarchy = MemoryHierarchy(
+            machine.cache_config, uncore=machine.uncore, core_id=core_id
+        )
+        # Values buffered alongside SB entries, FIFO-aligned with them.  A
+        # coalesced push merges into the tail dict, mirroring the SB's
+        # same-block tail merge.
+        self._pending: list[dict[str, int]] = []
+
+    # -- scheduler interface ----------------------------------------------
+    @property
+    def program_done(self) -> bool:
+        return self.pc >= len(self.program)
+
+    @property
+    def done(self) -> bool:
+        return self.program_done and self.sb.is_empty
+
+    def can_execute(self) -> bool:
+        if self.program_done:
+            return False
+        op = self.program[self.pc]
+        if op.kind == "st" and self.sb.is_full:
+            return False
+        return True
+
+    def execute_next(self, cycle: int) -> None:
+        """Run the next program op (stores buffer; loads read)."""
+        op = self.program[self.pc]
+        if op.kind == "st":
+            self._execute_store(op, cycle)
+            self.pc += 1
+        elif op.kind == "ld":
+            self._execute_load(op, cycle)
+            self.pc += 1
+        elif op.kind == "fence":
+            if self.sb.is_empty:
+                self.pc += 1
+            else:
+                self.drain_one(cycle)  # a fence retires the whole SB first
+        else:  # pragma: no cover - guarded by LitmusOp construction
+            raise ValueError(f"unknown litmus op kind {op.kind!r}")
+
+    def _execute_store(self, op: LitmusOp, cycle: int) -> None:
+        addr = self.machine.address_of(op.loc)
+        entry = StoreBufferEntry(
+            block=addr // self.machine.block_bytes,
+            addr=addr,
+            size=8,
+            pc=self.pc,
+            commit_cycle=cycle,
+        )
+        coalesced = self.sb.push(entry)
+        if coalesced:
+            self._pending[-1][op.loc] = op.value
+        else:
+            self._pending.append({op.loc: op.value})
+
+    def _execute_load(self, op: LitmusOp, cycle: int) -> None:
+        # Store-to-load forwarding: youngest matching buffered store wins.
+        addr = self.machine.address_of(op.loc)
+        block = addr // self.machine.block_bytes
+        if self.sb.forwards(block):
+            for values in reversed(self._pending):
+                if op.loc in values:
+                    self.machine.registers[(self.core_id, op.reg)] = values[op.loc]
+                    return
+        # No buffered store for this exact location: demand-load through the
+        # MESI hierarchy and read the last globally performed value.
+        self.hierarchy.load(block, cycle)
+        self.machine.registers[(self.core_id, op.reg)] = self.machine.memory.get(
+            op.loc, 0
+        )
+
+    def drain_one(self, cycle: int) -> None:
+        """Perform the SB head's L1 write, making its values global."""
+        head = self.sb.head()
+        if head is None:
+            return
+        if not self.hierarchy.has_write_permission(head.block):
+            self.hierarchy.store_permission(head.block, cycle)
+        self.hierarchy.perform_store(head.block, cycle)
+        self.sb.pop()
+        values = self._pending.pop(0)
+        self.machine.memory.update(values)
+
+
+class LitmusMachine:
+    """N litmus threads over one shared MESI uncore."""
+
+    def __init__(
+        self,
+        programs: Sequence[Sequence[LitmusOp]],
+        *,
+        sb_entries: int = 8,
+        coalescing: bool = False,
+        seed: int = 0,
+        drain_bias: float = 0.35,
+    ) -> None:
+        if not programs:
+            raise ValueError("need at least one litmus thread")
+        self.cache_config = CacheHierarchyConfig()
+        self.block_bytes = self.cache_config.block_bytes
+        self.uncore = SharedUncore(self.cache_config, num_cores=len(programs))
+        self.memory: dict[str, int] = {}
+        self.registers: dict[tuple[int, str], int] = {}
+        self._rng = random.Random(seed)
+        self._drain_bias = drain_bias
+        self._locations: dict[str, int] = {}
+        self.cores = [
+            _LitmusCore(core_id, program, self, sb_entries, coalescing)
+            for core_id, program in enumerate(programs)
+        ]
+
+    def address_of(self, loc: str) -> int:
+        """Stable per-location address, one cache block apart."""
+        if loc not in self._locations:
+            self._locations[loc] = 0x10000 + len(self._locations) * _LOC_STRIDE
+        return self._locations[loc]
+
+    def run(self, max_steps: int = 100_000) -> dict[str, int]:
+        """Randomly interleave the threads to completion; return registers."""
+        cycle = 0
+        for _ in range(max_steps):
+            runnable = [core for core in self.cores if not core.done]
+            if not runnable:
+                return self.outcome()
+            core = self._rng.choice(runnable)
+            cycle += 1
+            # Draining is always legal when the SB has entries; executing the
+            # next op is legal unless a store finds the SB full.  The random
+            # mix is what explores the TSO-reachable interleavings.
+            may_drain = not core.sb.is_empty
+            may_execute = core.can_execute()
+            if may_drain and (not may_execute or self._rng.random() < self._drain_bias):
+                core.drain_one(cycle)
+            elif may_execute:
+                core.execute_next(cycle)
+        raise RuntimeError("litmus machine did not terminate")
+
+    def outcome(self) -> dict[str, int]:
+        """Final register values as ``"core:reg" -> value``."""
+        return {
+            f"{core_id}:{reg}": value
+            for (core_id, reg), value in sorted(self.registers.items())
+        }
+
+
+def run_litmus(
+    programs: Sequence[Sequence[LitmusOp]],
+    *,
+    seeds: Iterable[int] = range(200),
+    sb_entries: int = 8,
+    coalescing: bool = False,
+) -> set[tuple[tuple[str, int], ...]]:
+    """Run a litmus pattern across seeds; return the set of outcomes seen.
+
+    Each outcome is a sorted tuple of ``(register, value)`` pairs, hashable
+    so tests can assert set membership of allowed/forbidden outcomes.
+    """
+    outcomes: set[tuple[tuple[str, int], ...]] = set()
+    for seed in seeds:
+        machine = LitmusMachine(
+            programs, sb_entries=sb_entries, coalescing=coalescing, seed=seed
+        )
+        outcomes.add(tuple(sorted(machine.run().items())))
+    return outcomes

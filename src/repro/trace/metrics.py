@@ -1,0 +1,230 @@
+"""Metrics derived from the event stream, shadow-checked against counters.
+
+:class:`MetricsRegistry` is a sink that re-derives the numbers the simulator
+also maintains as hand-written counters — committed-µop classes, the
+dispatch-stall breakdown, store-buffer activity and occupancy, L1 MSHR
+activity, demand traffic.  ``diff()`` compares the two bookkeeping systems;
+any disagreement means an event hook and a counter increment drifted apart,
+which is exactly the silent mis-attribution bug aggregate-only statistics
+cannot see.  Running a workload with a registry attached and asserting
+``assert_matches`` is the recommended way to validate timing changes
+(see docs/TRACING.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.stats.counters import PipelineStats, StallBreakdown
+from repro.trace import events as ev
+from repro.trace.events import TraceEvent
+
+
+class ShadowCheckError(AssertionError):
+    """Event-derived metrics disagree with the hand-maintained counters."""
+
+
+#: stall.dispatch tags -> StallBreakdown field names.
+_STALL_FIELDS = {
+    "sb": "sb_full",
+    "rob": "rob_full",
+    "issue_queue": "issue_queue_full",
+    "load_queue": "load_queue_full",
+    "frontend": "frontend",
+}
+
+
+@dataclass
+class MetricsRegistry:
+    """Re-derives simulator counters from the event stream.
+
+    ``sb_capacity`` (when given) arms an online occupancy invariant: the
+    store buffer's event-derived occupancy must never exceed it.
+    """
+
+    sb_capacity: int | None = None
+
+    committed: Counter = field(default_factory=Counter)  # by op class
+    dispatched: Counter = field(default_factory=Counter)
+    stall_cycles: Counter = field(default_factory=Counter)  # by resource tag
+    sb_inserts: int = 0
+    sb_coalesced: int = 0
+    sb_drains: int = 0
+    sb_occupancy: int = 0
+    sb_max_occupancy: int = 0
+    spb_windows: int = 0
+    spb_bursts: int = 0
+    spb_burst_blocks: int = 0
+    demand_loads: int = 0
+    demand_stores: int = 0
+    prefetch_issues: int = 0
+    prefetch_fills: int = 0
+    prefetch_discards: int = 0
+    mshr_allocs: int = 0
+    mshr_prefetch_allocs: int = 0
+    mshr_coalesced: int = 0
+    mshr_promotions: int = 0
+    mshr_releases: int = 0
+    violations: list = field(default_factory=list)
+
+    # -- sink interface ----------------------------------------------------
+    def accept(self, event: TraceEvent) -> None:  # noqa: C901 — one dispatch table
+        kind = event.kind
+        if kind == ev.UOP_COMMIT:
+            self.committed[event.tag] += 1
+        elif kind == ev.UOP_DISPATCH:
+            self.dispatched[event.tag] += 1
+        elif kind == ev.STALL_DISPATCH:
+            self.stall_cycles[event.tag] += event.value or 0
+        elif kind == ev.SB_INSERT:
+            self.sb_inserts += 1
+            self.sb_occupancy += 1
+            if self.sb_occupancy > self.sb_max_occupancy:
+                self.sb_max_occupancy = self.sb_occupancy
+            if (
+                self.sb_capacity is not None
+                and self.sb_occupancy > self.sb_capacity
+            ):
+                self.violations.append(
+                    f"SB occupancy {self.sb_occupancy} exceeds capacity "
+                    f"{self.sb_capacity} at cycle {event.cycle}"
+                )
+        elif kind == ev.SB_COALESCE:
+            self.sb_coalesced += 1
+        elif kind == ev.SB_DRAIN:
+            self.sb_drains += 1
+            self.sb_occupancy -= 1
+            if self.sb_occupancy < 0:
+                self.violations.append(
+                    f"SB drain below zero occupancy at cycle {event.cycle}"
+                )
+        elif kind == ev.SPB_WINDOW:
+            self.spb_windows += 1
+        elif kind == ev.SPB_BURST:
+            self.spb_bursts += 1
+            self.spb_burst_blocks += event.value or 0
+        elif kind == ev.CACHE_LOAD:
+            self.demand_loads += 1
+        elif kind == ev.CACHE_STORE:
+            self.demand_stores += 1
+        elif kind == ev.PREFETCH_ISSUE:
+            self.prefetch_issues += 1
+        elif kind == ev.PREFETCH_FILL:
+            self.prefetch_fills += 1
+        elif kind == ev.PREFETCH_DISCARD:
+            self.prefetch_discards += 1
+        elif kind == ev.MSHR_ALLOC:
+            if event.tag == "prefetch":
+                self.mshr_prefetch_allocs += 1
+            else:
+                self.mshr_allocs += 1
+        elif kind == ev.MSHR_COALESCE:
+            self.mshr_coalesced += 1
+        elif kind == ev.MSHR_PROMOTE:
+            self.mshr_promotions += 1
+        elif kind == ev.MSHR_RELEASE:
+            self.mshr_releases += 1
+
+    # -- derived views -----------------------------------------------------
+    @property
+    def committed_uops(self) -> int:
+        return sum(self.committed.values())
+
+    def stall_breakdown(self) -> StallBreakdown:
+        """The event-derived equivalent of ``PipelineStats.stalls``."""
+        breakdown = StallBreakdown()
+        for tag, attr in _STALL_FIELDS.items():
+            setattr(breakdown, attr, self.stall_cycles.get(tag, 0))
+        return breakdown
+
+    # -- shadow checking ---------------------------------------------------
+    def diff(
+        self,
+        pipeline: PipelineStats | None = None,
+        sb_stats=None,
+        mshr_stats=None,
+        traffic=None,
+        engine_stats=None,
+        detector_stats=None,
+    ) -> list[str]:
+        """Compare event-derived metrics with the counters; return mismatches."""
+        problems: list[str] = list(self.violations)
+
+        def check(label: str, derived, counter) -> None:
+            if derived != counter:
+                problems.append(f"{label}: events say {derived}, counters say {counter}")
+
+        if pipeline is not None:
+            check("committed_uops", self.committed_uops, pipeline.committed_uops)
+            check("committed_stores", self.committed["store"], pipeline.committed_stores)
+            check("committed_loads", self.committed["load"], pipeline.committed_loads)
+            check(
+                "committed_branches",
+                self.committed["branch"],
+                pipeline.committed_branches,
+            )
+            derived = self.stall_breakdown()
+            for attr in _STALL_FIELDS.values():
+                check(
+                    f"stalls.{attr}", getattr(derived, attr), getattr(pipeline.stalls, attr)
+                )
+            check("sb_stall_cycles", derived.sb_full, pipeline.sb_stall_cycles)
+        if sb_stats is not None:
+            check("sb.pushes", self.sb_inserts + self.sb_coalesced, sb_stats.pushes)
+            check("sb.coalesced", self.sb_coalesced, sb_stats.coalesced)
+            check("sb.drains", self.sb_drains, sb_stats.drains)
+            check("sb.max_occupancy", self.sb_max_occupancy, sb_stats.max_occupancy)
+        if mshr_stats is not None:
+            check("mshr.allocations", self.mshr_allocs, mshr_stats.allocations)
+            check(
+                "mshr.prefetch_allocations",
+                self.mshr_prefetch_allocs,
+                mshr_stats.prefetch_allocations,
+            )
+            check("mshr.coalesced", self.mshr_coalesced, mshr_stats.coalesced)
+            check("mshr.promotions", self.mshr_promotions, mshr_stats.promotions)
+        if traffic is not None:
+            check("traffic.demand_loads", self.demand_loads, traffic.demand_loads)
+            check("traffic.demand_stores", self.demand_stores, traffic.demand_stores)
+            check(
+                "traffic.discarded_prefetch_requests",
+                self.prefetch_discards,
+                traffic.discarded_prefetch_requests,
+            )
+        if engine_stats is not None:
+            check(
+                "engine.prefetches_issued",
+                self.prefetch_issues,
+                engine_stats.prefetches_issued,
+            )
+            check(
+                "engine.burst_requests", self.spb_bursts, engine_stats.burst_requests
+            )
+            check(
+                "engine.burst_blocks_requested",
+                self.spb_burst_blocks,
+                engine_stats.burst_blocks_requested,
+            )
+        if detector_stats is not None:
+            check(
+                "spb.windows_checked", self.spb_windows, detector_stats.windows_checked
+            )
+        return problems
+
+    def assert_matches(self, **counter_sources) -> None:
+        """Raise :class:`ShadowCheckError` on any events-vs-counters mismatch."""
+        problems = self.diff(**counter_sources)
+        if problems:
+            raise ShadowCheckError(
+                "shadow check failed:\n  " + "\n  ".join(problems)
+            )
+
+
+def shadow_registry_for(config) -> MetricsRegistry:
+    """Registry armed with the SB-capacity invariant from a SystemConfig."""
+    capacity = None
+    engine_unbounded = getattr(config, "store_prefetch", None)
+    if engine_unbounded is None or engine_unbounded.value != "ideal":
+        capacity = config.core.store_buffer_per_thread
+    return MetricsRegistry(sb_capacity=capacity)

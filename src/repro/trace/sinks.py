@@ -1,0 +1,204 @@
+"""Event sinks: in-memory capture, JSONL streams and Chrome trace export.
+
+A sink is anything with ``accept(event)`` (called once per surviving event)
+and optionally ``close()`` (flush buffered output).  The stock sinks:
+
+* :class:`CollectorSink` — plain list, for tests and digests.
+* :class:`RingBufferSink` — bounded deque plus per-kind counts; what the CLI
+  uses for a cheap "what happened" tail without unbounded memory.
+* :class:`JsonlSink` — one canonical JSON object per line; the campaign
+  engine's per-job capture format.
+* :class:`ChromeTraceSink` — Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or https://ui.perfetto.dev) with one instant event
+  per record, one thread lane per core, and an SB-occupancy counter track.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from fnmatch import fnmatchcase
+from typing import IO
+
+from repro.trace.events import SB_DRAIN, SB_INSERT, TraceEvent
+
+
+class FilteredSink:
+    """Wrap a sink so only events matching glob patterns reach it.
+
+    Used when one tracer must feed differently-scoped consumers — e.g. a
+    ``--trace-filter``-restricted JSONL file next to a shadow-check
+    :class:`~repro.trace.metrics.MetricsRegistry` that needs every event.
+    """
+
+    def __init__(self, sink, kinds) -> None:
+        from repro.trace.tracer import parse_filter  # local: avoids a cycle
+
+        self.sink = sink
+        self.patterns = parse_filter(kinds)
+        self._decisions: dict[str, bool] = {}
+
+    def accept(self, event: TraceEvent) -> None:
+        decision = self._decisions.get(event.kind)
+        if decision is None:
+            decision = self.patterns is None or any(
+                fnmatchcase(event.kind, pattern) for pattern in self.patterns
+            )
+            self._decisions[event.kind] = decision
+        if decision:
+            self.sink.accept(event)
+
+    def close(self) -> None:
+        close = getattr(self.sink, "close", None)
+        if close is not None:
+            close()
+
+
+class CollectorSink:
+    """Append every event to an in-memory list."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def accept(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class RingBufferSink:
+    """Keep the last ``capacity`` events plus total per-kind counts."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("ring buffer needs a positive capacity")
+        self.capacity = capacity
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.counts: Counter[str] = Counter()
+        self.total = 0
+
+    def accept(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        self.counts[event.kind] += 1
+        self.total += 1
+
+    def tail(self, n: int = 20) -> list[TraceEvent]:
+        """The most recent ``n`` retained events, oldest first."""
+        if n <= 0:
+            return []
+        return list(self.events)[-n:]
+
+
+class JsonlSink:
+    """Stream events as canonical JSON lines to a path or file object."""
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="ascii")
+            self._owns_file = True
+            self.path: str | None = target
+        else:
+            self._file = target
+            self._owns_file = False
+            self.path = getattr(target, "name", None)
+        self.written = 0
+
+    def accept(self, event: TraceEvent) -> None:
+        self._file.write(event.to_json())
+        self._file.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+class ChromeTraceSink:
+    """Export the run as Chrome ``trace_event`` JSON.
+
+    Every event becomes a thread-scoped instant (``ph: "i"``) named after
+    its kind, stamped at ``ts = cycle`` (1 "µs" per simulated cycle) on the
+    thread lane of its core.  SB inserts/drains additionally feed a counter
+    track (``ph: "C"``) so the viewer draws store-buffer occupancy over
+    time — the per-cycle picture behind the paper's Figure 1.
+    """
+
+    def __init__(self, target: str | IO[str], process_name: str = "repro") -> None:
+        if isinstance(target, str):
+            self._file: IO[str] | None = None
+            self.path: str | None = target
+        else:
+            self._file = target
+            self.path = getattr(target, "name", None)
+        self.process_name = process_name
+        self.trace_events: list[dict] = [
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": process_name},
+            }
+        ]
+        self._occupancy: dict[int, int] = {}
+        self._closed = False
+
+    def accept(self, event: TraceEvent) -> None:
+        args = {
+            name: value
+            for name, value in (
+                ("pc", event.pc),
+                ("addr", event.addr),
+                ("block", event.block),
+                ("value", event.value),
+                ("tag", event.tag),
+            )
+            if value is not None
+        }
+        self.trace_events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": 0,
+                "tid": event.core,
+                "ts": event.cycle,
+                "name": event.kind,
+                "args": args,
+            }
+        )
+        if event.kind in (SB_INSERT, SB_DRAIN) and event.value is not None:
+            self._occupancy[event.core] = event.value
+            self.trace_events.append(
+                {
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": event.core,
+                    "ts": event.cycle,
+                    "name": f"SB occupancy (core {event.core})",
+                    "args": {"entries": event.value},
+                }
+            )
+
+    def document(self) -> dict:
+        """The complete trace_event JSON document."""
+        return {
+            "traceEvents": self.trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": self.process_name, "timeUnit": "cycle"},
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.path is not None and self._file is None:
+            with open(self.path, "w", encoding="ascii") as handle:
+                json.dump(self.document(), handle, separators=(",", ":"))
+        elif self._file is not None:
+            json.dump(self.document(), self._file, separators=(",", ":"))
+            self._file.flush()

@@ -1,0 +1,118 @@
+"""The Tracer: filtered fan-out of events to sinks.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  Producers hold a plain ``tracer``
+   attribute that is ``None`` when tracing is off, and every hook site is
+   two bytecodes: ``tr = self.tracer`` / ``if tr is not None``.  A disabled
+   run therefore executes the exact same work as an untraced run (the perf
+   guard in ``tests/test_trace_shadow.py`` pins this).
+2. **One emit call per occurrence.**  ``Tracer.emit`` takes the event fields
+   directly (no pre-built record), applies the kind filter *before*
+   constructing the :class:`~repro.trace.events.TraceEvent`, and hands the
+   frozen record to every sink.
+3. **Filters are glob patterns over kinds.**  ``--trace-filter "sb.*,spb.*"``
+   keeps only store-buffer and SPB events; decisions are memoised per kind
+   so filtering costs one dict lookup on the hot path.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Iterable, Sequence
+
+from repro.trace.events import TraceEvent
+
+
+def parse_filter(spec: str | Sequence[str] | None) -> tuple[str, ...] | None:
+    """Normalise a filter spec to a tuple of glob patterns.
+
+    Accepts a comma-separated string (the CLI form) or a sequence of
+    patterns; ``None``/empty means "keep everything".
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        patterns = tuple(part.strip() for part in spec.split(",") if part.strip())
+    else:
+        patterns = tuple(spec)
+    return patterns or None
+
+
+class Tracer:
+    """Dispatches :class:`TraceEvent` records to a set of sinks."""
+
+    def __init__(
+        self,
+        sinks: Iterable[object] | None = None,
+        kinds: str | Sequence[str] | None = None,
+    ) -> None:
+        self.sinks = list(sinks or [])
+        self.patterns = parse_filter(kinds)
+        self._decisions: dict[str, bool] = {}
+        self.emitted = 0
+        self.filtered = 0
+
+    def add_sink(self, sink: object) -> None:
+        """Attach another sink (anything with ``accept(event)``)."""
+        self.sinks.append(sink)
+
+    def wants(self, kind: str) -> bool:
+        """Whether the filter keeps events of ``kind`` (memoised)."""
+        if self.patterns is None:
+            return True
+        decision = self._decisions.get(kind)
+        if decision is None:
+            decision = any(fnmatchcase(kind, pattern) for pattern in self.patterns)
+            self._decisions[kind] = decision
+        return decision
+
+    def emit(
+        self,
+        cycle: int,
+        kind: str,
+        *,
+        core: int = 0,
+        pc: int | None = None,
+        addr: int | None = None,
+        block: int | None = None,
+        value: int | None = None,
+        tag: str | None = None,
+    ) -> None:
+        """Record one occurrence (filtered, then fanned out to sinks)."""
+        if not self.wants(kind):
+            self.filtered += 1
+            return
+        event = TraceEvent(
+            cycle=cycle, kind=kind, core=core,
+            pc=pc, addr=addr, block=block, value=value, tag=tag,
+        )
+        self.emitted += 1
+        for sink in self.sinks:
+            sink.accept(event)
+
+    def close(self) -> None:
+        """Flush and close every sink that supports it."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach_tracer(tracer: Tracer | None, *producers: object) -> None:
+    """Point every producer's ``tracer`` attribute at ``tracer``.
+
+    Producers (pipeline, store buffer, MSHR file, hierarchy, engines,
+    detector) all follow the same convention — a ``tracer`` attribute that
+    is ``None`` when tracing is off — so late attachment (e.g. after a
+    warm-up phase) is a plain attribute write.
+    """
+    for producer in producers:
+        if producer is not None:
+            producer.tracer = tracer

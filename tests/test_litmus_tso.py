@@ -1,0 +1,136 @@
+"""TSO litmus suite: ordering checks through the real SB + MESI machinery.
+
+Each pattern runs across many seeded interleavings via
+:func:`repro.trace.litmus.run_litmus`; the set of outcomes observed must
+stay inside what x86-TSO allows.  A forbidden outcome appearing even once
+means a store-order bug in the store buffer or the coherence plumbing —
+exactly the class of bug aggregate cycle counters cannot see.
+"""
+
+from __future__ import annotations
+
+from repro.trace.litmus import LitmusMachine, fence, ld, run_litmus, st
+
+SEEDS = range(250)
+
+
+def _matching(outcomes, **regs):
+    """Subset of outcomes matching ``{"0:r1": 1, ...}``-style constraints."""
+    wanted = {(key.replace("_", ":"), value) for key, value in regs.items()}
+    return {outcome for outcome in outcomes if wanted <= set(outcome)}
+
+
+class TestMessagePassing:
+    """MP: C0 publishes data then flag; C1 reading the flag must see the data.
+
+    TSO forbids r1=1 ∧ r2=0 because stores drain in FIFO order — the flag
+    store cannot become globally visible before the data store.
+    """
+
+    PROGRAMS = [
+        [st("x", 1), st("y", 1)],
+        [ld("r1", "y"), ld("r2", "x")],
+    ]
+
+    def test_forbidden_outcome_never_appears(self):
+        outcomes = run_litmus(self.PROGRAMS, seeds=SEEDS)
+        # r2 here is the *second* load, so stale data after a fresh flag
+        # would be visible as (1:r1 = 1, 1:r2 = 0).
+        assert not _matching(outcomes, **{"1:r1": 1, "1:r2": 0})
+
+    def test_allowed_outcomes_are_reachable(self):
+        outcomes = run_litmus(self.PROGRAMS, seeds=SEEDS)
+        # Interleaving should reach both extremes: loads before any drain
+        # (0,0) and loads after both drains (1,1).
+        assert _matching(outcomes, **{"1:r1": 0, "1:r2": 0})
+        assert _matching(outcomes, **{"1:r1": 1, "1:r2": 1})
+
+    def test_forbidden_outcome_never_appears_with_coalescing(self):
+        outcomes = run_litmus(self.PROGRAMS, seeds=SEEDS, coalescing=True)
+        assert not _matching(outcomes, **{"1:r1": 1, "1:r2": 0})
+
+    def test_holds_in_tiny_store_buffer(self):
+        # sb_entries=1 forces every store to wait for the previous drain —
+        # a different interleaving regime, same forbidden outcome.
+        outcomes = run_litmus(self.PROGRAMS, seeds=SEEDS, sb_entries=1)
+        assert not _matching(outcomes, **{"1:r1": 1, "1:r2": 0})
+
+
+class TestStoreBuffering:
+    """SB: the pattern store buffers *relax* — both loads may miss both stores.
+
+    x86-TSO allows r1=0 ∧ r2=0 (each core reads before the other core's
+    buffered store drains); inserting MFENCE between each store and load
+    forbids it.  Seeing the relaxed outcome without fences and never with
+    them is the signature of a real store buffer.
+    """
+
+    RELAXED = [
+        [st("x", 1), ld("r1", "y")],
+        [st("y", 1), ld("r2", "x")],
+    ]
+    FENCED = [
+        [st("x", 1), fence(), ld("r1", "y")],
+        [st("y", 1), fence(), ld("r2", "x")],
+    ]
+
+    def test_relaxed_outcome_reachable_without_fences(self):
+        outcomes = run_litmus(self.RELAXED, seeds=SEEDS)
+        assert _matching(outcomes, **{"0:r1": 0, "1:r2": 0}), (
+            "store buffering never relaxed the SB pattern — the harness is "
+            "draining stores eagerly instead of buffering them"
+        )
+
+    def test_fences_forbid_the_relaxed_outcome(self):
+        outcomes = run_litmus(self.FENCED, seeds=SEEDS)
+        assert not _matching(outcomes, **{"0:r1": 0, "1:r2": 0})
+
+    def test_fences_forbid_it_with_coalescing_too(self):
+        outcomes = run_litmus(self.FENCED, seeds=SEEDS, coalescing=True)
+        assert not _matching(outcomes, **{"0:r1": 0, "1:r2": 0})
+
+
+class TestSameAddressCoherence:
+    """Per-location guarantees: forwarding, read-read and write-write order."""
+
+    def test_store_to_load_forwarding_sees_own_store(self):
+        # A core's own load must see its buffered store (no fence needed).
+        outcomes = run_litmus([[st("x", 1), ld("r1", "x")]], seeds=SEEDS)
+        assert outcomes == {(("0:r1", 1),)}
+
+    def test_forwarding_picks_the_youngest_store(self):
+        outcomes = run_litmus(
+            [[st("x", 1), st("x", 2), ld("r1", "x")]], seeds=SEEDS
+        )
+        assert all((("0:r1", 2),) == outcome for outcome in outcomes)
+
+    def test_corr_reads_of_one_location_never_go_backwards(self):
+        # CoRR: once C1 observes x=1, a later read cannot see x=0 again.
+        outcomes = run_litmus(
+            [[st("x", 1)], [ld("r1", "x"), ld("r2", "x")]], seeds=SEEDS
+        )
+        assert not _matching(outcomes, **{"1:r1": 1, "1:r2": 0})
+
+    def test_coww_final_value_is_the_last_store(self):
+        # CoWW: same-address stores drain in program order, so the final
+        # globally visible value is the last one written.
+        for coalescing in (False, True):
+            for seed in range(50):
+                machine = LitmusMachine(
+                    [[st("x", 1), st("x", 2)]], coalescing=coalescing, seed=seed
+                )
+                machine.run()
+                assert machine.memory["x"] == 2, (
+                    f"seed {seed} coalescing={coalescing}: CoWW violated"
+                )
+
+    def test_other_core_eventually_sees_final_value(self):
+        # After both programs finish (SBs fully drained), memory holds the
+        # last store regardless of interleaving.
+        for seed in range(50):
+            machine = LitmusMachine(
+                [[st("x", 1), st("x", 2)], [ld("r1", "x")]], seed=seed
+            )
+            machine.run()
+            assert machine.memory["x"] == 2
+            assert machine.registers[(1, "r1")] in (0, 1, 2)

@@ -1,0 +1,235 @@
+"""Unit tests for the tracing layer: events, tracer, filters and sinks."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.trace import (
+    ALL_KINDS,
+    ChromeTraceSink,
+    CollectorSink,
+    FilteredSink,
+    JsonlSink,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    attach_tracer,
+    events_digest,
+    lines_digest,
+    parse_filter,
+)
+
+
+class TestTraceEvent:
+    def test_to_dict_drops_unset_payload(self):
+        event = TraceEvent(cycle=5, kind="sb.insert", core=1, block=7)
+        assert event.to_dict() == {
+            "cycle": 5, "kind": "sb.insert", "core": 1, "block": 7,
+        }
+
+    def test_to_json_is_canonical(self):
+        event = TraceEvent(cycle=5, kind="sb.insert", block=7, tag="x")
+        line = event.to_json()
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+
+    def test_events_are_frozen(self):
+        event = TraceEvent(cycle=0, kind="uop.commit")
+        with pytest.raises(AttributeError):
+            event.cycle = 1
+
+    def test_all_kinds_are_dotted_and_unique(self):
+        assert len(set(ALL_KINDS)) == len(ALL_KINDS)
+        assert all("." in kind for kind in ALL_KINDS)
+
+
+class TestDigests:
+    def test_events_and_lines_digests_agree(self):
+        events = [
+            TraceEvent(cycle=i, kind="uop.commit", value=i) for i in range(10)
+        ]
+        lines = [event.to_json() for event in events]
+        assert events_digest(events) == lines_digest(lines)
+
+    def test_digest_is_order_sensitive(self):
+        a = TraceEvent(cycle=0, kind="uop.commit")
+        b = TraceEvent(cycle=1, kind="uop.commit")
+        assert events_digest([a, b]) != events_digest([b, a])
+
+    def test_lines_digest_ignores_trailing_whitespace(self):
+        lines = ['{"cycle":0}']
+        assert lines_digest(lines) == lines_digest([lines[0] + "\n"])
+
+
+class TestParseFilter:
+    def test_none_and_empty_mean_keep_everything(self):
+        assert parse_filter(None) is None
+        assert parse_filter("") is None
+        assert parse_filter([]) is None
+
+    def test_comma_string_splits_and_strips(self):
+        assert parse_filter(" sb.* , spb.burst ") == ("sb.*", "spb.burst")
+
+    def test_sequence_passes_through(self):
+        assert parse_filter(["a.*", "b"]) == ("a.*", "b")
+
+
+class TestTracer:
+    def test_emit_fans_out_to_all_sinks(self):
+        a, b = CollectorSink(), CollectorSink()
+        tracer = Tracer([a, b])
+        tracer.emit(3, "sb.insert", block=9)
+        assert len(a) == len(b) == 1
+        assert a.events[0].block == 9
+        assert tracer.emitted == 1
+
+    def test_filter_drops_before_constructing(self):
+        sink = CollectorSink()
+        tracer = Tracer([sink], kinds="sb.*")
+        tracer.emit(0, "sb.insert")
+        tracer.emit(0, "cache.load")
+        assert [event.kind for event in sink] == ["sb.insert"]
+        assert tracer.emitted == 1
+        assert tracer.filtered == 1
+
+    def test_filter_decisions_are_memoised_per_kind(self):
+        tracer = Tracer(kinds="sb.*")
+        assert tracer.wants("sb.drain")
+        assert not tracer.wants("uop.commit")
+        assert tracer._decisions == {"sb.drain": True, "uop.commit": False}
+
+    def test_every_catalogue_kind_passes_an_unfiltered_tracer(self):
+        tracer = Tracer([CollectorSink()])
+        for kind in ALL_KINDS:
+            assert tracer.wants(kind)
+
+    def test_context_manager_closes_sinks(self):
+        buffer = io.StringIO()
+        with Tracer([JsonlSink(buffer)]) as tracer:
+            tracer.emit(0, "uop.commit", tag="alu")
+        assert buffer.getvalue().count("\n") == 1
+
+    def test_add_sink(self):
+        tracer = Tracer()
+        sink = CollectorSink()
+        tracer.add_sink(sink)
+        tracer.emit(0, "uop.commit")
+        assert len(sink) == 1
+
+    def test_attach_tracer_sets_the_attribute(self):
+        class Producer:
+            tracer = None
+
+        one, two = Producer(), Producer()
+        tracer = Tracer()
+        attach_tracer(tracer, one, None, two)
+        assert one.tracer is tracer and two.tracer is tracer
+        attach_tracer(None, one)
+        assert one.tracer is None
+
+
+class TestRingBufferSink:
+    def test_keeps_only_the_last_capacity_events(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(10):
+            ring.accept(TraceEvent(cycle=i, kind="uop.commit"))
+        assert ring.total == 10
+        assert [event.cycle for event in ring.tail(5)] == [7, 8, 9]
+
+    def test_counts_survive_eviction(self):
+        ring = RingBufferSink(capacity=2)
+        for i in range(5):
+            ring.accept(TraceEvent(cycle=i, kind="sb.insert"))
+        ring.accept(TraceEvent(cycle=5, kind="sb.drain"))
+        assert ring.counts == {"sb.insert": 5, "sb.drain": 1}
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_writes_one_canonical_line_per_event(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        sink = JsonlSink(path)
+        sink.accept(TraceEvent(cycle=1, kind="sb.insert", block=2, value=1))
+        sink.accept(TraceEvent(cycle=2, kind="sb.drain", block=2, value=0))
+        sink.close()
+        lines = open(path).read().splitlines()
+        assert sink.written == 2
+        assert [json.loads(line)["kind"] for line in lines] == [
+            "sb.insert", "sb.drain",
+        ]
+        assert lines_digest(lines) == events_digest(
+            [
+                TraceEvent(cycle=1, kind="sb.insert", block=2, value=1),
+                TraceEvent(cycle=2, kind="sb.drain", block=2, value=0),
+            ]
+        )
+
+
+class TestFilteredSink:
+    def test_only_matching_kinds_reach_the_inner_sink(self):
+        inner = CollectorSink()
+        filtered = FilteredSink(inner, "mshr.*")
+        filtered.accept(TraceEvent(cycle=0, kind="mshr.alloc"))
+        filtered.accept(TraceEvent(cycle=0, kind="sb.insert"))
+        assert [event.kind for event in inner] == ["mshr.alloc"]
+
+    def test_none_filter_passes_everything(self):
+        inner = CollectorSink()
+        filtered = FilteredSink(inner, None)
+        filtered.accept(TraceEvent(cycle=0, kind="anything.at.all"))
+        assert len(inner) == 1
+
+    def test_close_propagates(self):
+        buffer = io.StringIO()
+        filtered = FilteredSink(JsonlSink(buffer), "sb.*")
+        filtered.accept(TraceEvent(cycle=0, kind="sb.insert"))
+        filtered.close()
+        assert buffer.getvalue()
+
+
+class TestChromeTraceSink:
+    def _events(self):
+        return [
+            TraceEvent(cycle=10, kind="sb.insert", core=0, block=4, value=1),
+            TraceEvent(cycle=11, kind="cache.load", core=1, block=9, tag="L2"),
+            TraceEvent(cycle=12, kind="sb.drain", core=0, block=4, value=0),
+        ]
+
+    def test_document_is_valid_trace_event_json(self):
+        sink = ChromeTraceSink(io.StringIO())
+        for event in self._events():
+            sink.accept(event)
+        doc = json.loads(json.dumps(sink.document()))
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        phases = {entry["ph"] for entry in doc["traceEvents"]}
+        assert phases == {"M", "i", "C"}  # metadata, instants, counters
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == [
+            "sb.insert", "cache.load", "sb.drain",
+        ]
+        assert all(e["ts"] == ev.cycle and e["tid"] == ev.core
+                   for e, ev in zip(instants, self._events()))
+
+    def test_sb_events_feed_the_occupancy_counter_track(self):
+        sink = ChromeTraceSink(io.StringIO())
+        for event in self._events():
+            sink.accept(event)
+        counters = [e for e in sink.document()["traceEvents"] if e["ph"] == "C"]
+        assert [c["args"]["entries"] for c in counters] == [1, 0]
+
+    def test_close_writes_parseable_json_to_path(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        sink = ChromeTraceSink(path)
+        sink.accept(TraceEvent(cycle=0, kind="uop.commit", tag="alu"))
+        sink.close()
+        sink.close()  # idempotent
+        doc = json.load(open(path))
+        assert doc["otherData"]["timeUnit"] == "cycle"
+        assert any(e.get("name") == "uop.commit" for e in doc["traceEvents"])

@@ -1,0 +1,172 @@
+"""Property-based tests over the event stream (hypothesis).
+
+Random small workloads run under randomly drawn policies/SB sizes; the
+resulting event stream must satisfy the structural invariants of the
+machine regardless of workload shape:
+
+* every ``uop.commit`` was preceded by a ``uop.dispatch`` of the same µop;
+* store-buffer occupancy derived purely from insert/drain events never
+  exceeds the configured capacity and agrees with the SB's own counters;
+* L1 MSHR allocate/release events balance once every in-flight entry is
+  forced to expire.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.core.policies import build_store_prefetch_engine
+from repro.cpu.pipeline import Pipeline
+from repro.isa.trace import Trace
+from repro.isa.uop import MicroOp, OpKind
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.prefetch import build_prefetcher
+from repro.sim.runner import _attach_tracer
+from repro.trace import CollectorSink, MetricsRegistry, Tracer
+from repro.trace import events as ev
+
+# µops over a handful of pages so stores collide, coalesce and burst.
+_stores = st.builds(
+    lambda slot: MicroOp(OpKind.STORE, pc=0x100, addr=0x1_0000 + slot * 8, size=8),
+    st.integers(min_value=0, max_value=2048),
+)
+_loads = st.builds(
+    lambda slot: MicroOp(OpKind.LOAD, pc=0x108, addr=0x1_0000 + slot * 8, size=8),
+    st.integers(min_value=0, max_value=2048),
+)
+_alu = st.builds(
+    lambda dep: MicroOp(OpKind.INT_ALU, pc=0x110, dep_distance=dep),
+    st.integers(min_value=0, max_value=3),
+)
+_branches = st.builds(
+    lambda miss: MicroOp(OpKind.BRANCH, pc=0x118, mispredicted=miss, taken=True),
+    st.booleans(),
+)
+workloads = st.lists(
+    st.one_of(_stores, _loads, _alu, _branches), min_size=30, max_size=250
+)
+policies = st.sampled_from(["none", "at-execute", "at-commit", "spb"])
+sb_sizes = st.integers(min_value=2, max_value=14)
+
+
+def traced_run(ops, policy, sb_entries):
+    """Run a workload with full tracing; return (events, pipeline, hierarchy)."""
+    config = SystemConfig.skylake().with_policy(policy).with_sb(sb_entries)
+    sink = CollectorSink()
+    tracer = Tracer([sink])
+    hierarchy = MemoryHierarchy(
+        config.caches, prefetcher=build_prefetcher(config.cache_prefetcher)
+    )
+    engine = build_store_prefetch_engine(
+        config.store_prefetch, hierarchy, config.spb, tracer=tracer
+    )
+    _attach_tracer(tracer, hierarchy, engine)
+    pipeline = Pipeline(config, Trace(ops, name="prop"), hierarchy, engine,
+                        tracer=tracer)
+    pipeline.run()
+    return sink.events, pipeline, hierarchy
+
+
+class TestCommitRequiresDispatch:
+    @given(workloads, policies)
+    @settings(max_examples=30, deadline=None)
+    def test_every_commit_has_a_prior_dispatch(self, ops, policy):
+        events, _, _ = traced_run(ops, policy, 14)
+        dispatched = set()
+        committed = []
+        for event in events:
+            if event.kind == ev.UOP_DISPATCH:
+                dispatched.add(event.value)
+            elif event.kind == ev.UOP_COMMIT:
+                assert event.value in dispatched, (
+                    f"µop {event.value} committed at cycle {event.cycle} "
+                    "without a prior dispatch event"
+                )
+                committed.append(event.value)
+        # Commit is in-order: trace indices retire exactly in sequence.
+        assert committed == sorted(committed)
+        assert len(committed) == len(ops)
+
+    @given(workloads)
+    @settings(max_examples=15, deadline=None)
+    def test_commit_never_precedes_dispatch_cycle(self, ops):
+        events, _, _ = traced_run(ops, "at-commit", 14)
+        dispatch_cycle = {}
+        for event in events:
+            if event.kind == ev.UOP_DISPATCH:
+                dispatch_cycle[event.value] = event.cycle
+            elif event.kind == ev.UOP_COMMIT:
+                assert event.cycle >= dispatch_cycle[event.value]
+
+
+class TestStoreBufferOccupancy:
+    @given(workloads, policies, sb_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_event_derived_occupancy_bounded_and_consistent(
+        self, ops, policy, sb_entries
+    ):
+        events, pipeline, _ = traced_run(ops, policy, sb_entries)
+        occupancy = 0
+        inserts = coalesces = drains = max_occupancy = 0
+        for event in events:
+            if event.kind == ev.SB_INSERT:
+                inserts += 1
+                occupancy += 1
+                max_occupancy = max(max_occupancy, occupancy)
+                assert occupancy <= sb_entries, (
+                    f"SB occupancy {occupancy} exceeds capacity {sb_entries} "
+                    f"at cycle {event.cycle}"
+                )
+                assert event.value == occupancy  # payload = occupancy after
+            elif event.kind == ev.SB_COALESCE:
+                coalesces += 1
+            elif event.kind == ev.SB_DRAIN:
+                drains += 1
+                occupancy -= 1
+                assert occupancy >= 0
+                assert event.value == occupancy
+        stats = pipeline.sb.stats
+        assert inserts + coalesces == stats.pushes
+        assert coalesces == stats.coalesced
+        assert drains == stats.drains
+        assert max_occupancy == stats.max_occupancy
+        assert occupancy == len(pipeline.sb)  # all drained at end of run
+
+    @given(workloads, sb_sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_metrics_registry_agrees_with_manual_replay(self, ops, sb_entries):
+        events, pipeline, _ = traced_run(ops, "spb", sb_entries)
+        registry = MetricsRegistry(sb_capacity=sb_entries)
+        for event in events:
+            registry.accept(event)
+        assert registry.violations == []
+        assert registry.diff(
+            pipeline=pipeline.stats, sb_stats=pipeline.sb.stats
+        ) == []
+
+
+class TestMSHRBalance:
+    @given(workloads, policies)
+    @settings(max_examples=30, deadline=None)
+    def test_alloc_and_release_events_balance(self, ops, policy):
+        events, pipeline, hierarchy = traced_run(ops, policy, 14)
+        # Force every still-in-flight entry (and the stale heap entries left
+        # behind by promotions) to expire, emitting their releases.
+        assert hierarchy.l1_mshr.outstanding(pipeline.cycle + 10**9) == 0
+        allocs = promotions = releases = 0
+        for event in hierarchy.tracer.sinks[0]:
+            if event.kind == ev.MSHR_ALLOC:
+                allocs += 1
+            elif event.kind == ev.MSHR_PROMOTE:
+                promotions += 1
+            elif event.kind == ev.MSHR_RELEASE:
+                releases += 1
+        # A promotion re-queues the entry under a new completion, leaving
+        # the old heap entry to expire later, so it accounts for one extra
+        # release beyond the allocations.
+        assert releases == allocs + promotions
+        stats = hierarchy.l1_mshr.stats
+        assert allocs == stats.allocations + stats.prefetch_allocations
+        assert promotions == stats.promotions
