@@ -1,9 +1,12 @@
-"""Simulator micro-benchmarks: µops simulated per second.
+"""Simulator micro-benchmarks: µops simulated per second, per engine.
 
 Unlike the figure benchmarks (one-shot, result-oriented), these measure the
 simulator itself over several rounds, so regressions in the hot paths (the
 pipeline cycle loop, the hierarchy, the SPB burst path) show up in CI-style
-comparisons of the pytest-benchmark tables.
+comparisons of the pytest-benchmark tables.  Every workload runs under both
+execution engines, so one table shows the reference/fast speedup directly;
+``BENCH_fastpath.json`` at the repo root records a committed snapshot of
+those ratios (regenerate with ``python benchmarks/bench_simulator_throughput.py``).
 """
 
 import pytest
@@ -11,6 +14,7 @@ import pytest
 from repro import SystemConfig, simulate, spec2017
 
 LENGTH = 10_000
+ENGINES = ["reference", "fast"]
 
 
 @pytest.fixture(scope="module")
@@ -22,22 +26,85 @@ def traces():
     }
 
 
-def _simulate(trace, policy):
-    config = SystemConfig.skylake(sb_entries=14, store_prefetch=policy)
+def _simulate(trace, policy, engine="reference"):
+    config = SystemConfig.skylake(
+        sb_entries=14, store_prefetch=policy, engine=engine
+    )
     return simulate(trace, config)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("kind", ["compute", "memory", "burst"])
-def test_throughput_at_commit(benchmark, traces, kind):
+def test_throughput_at_commit(benchmark, traces, kind, engine):
     result = benchmark.pedantic(
-        _simulate, args=(traces[kind], "at-commit"), rounds=3, iterations=1
+        _simulate, args=(traces[kind], "at-commit", engine), rounds=3, iterations=1
     )
     assert result.pipeline.committed_uops == LENGTH
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("kind", ["burst"])
-def test_throughput_spb(benchmark, traces, kind):
+def test_throughput_spb(benchmark, traces, kind, engine):
     result = benchmark.pedantic(
-        _simulate, args=(traces[kind], "spb"), rounds=3, iterations=1
+        _simulate, args=(traces[kind], "spb", engine), rounds=3, iterations=1
     )
     assert result.pipeline.committed_uops == LENGTH
+
+
+def _measure_speedups(rounds: int = 10) -> dict:
+    """Interleaved min-of-N timing of both engines on every cell.
+
+    Alternating reference/fast runs inside each round cancels slow drifts in
+    machine load; ``min`` over rounds discards transient interference.  GC is
+    disabled during timed regions so collection pauses don't land on one
+    engine's ledger.
+    """
+    import gc
+    import time
+
+    cells = [
+        ("compute/at-commit", "exchange2", "at-commit"),
+        ("memory/at-commit", "mcf", "at-commit"),
+        ("burst/at-commit", "bwaves", "at-commit"),
+        ("burst/spb", "bwaves", "spb"),
+    ]
+    trace_cache = {}
+    report = {"length": LENGTH, "sb_entries": 14, "rounds": rounds, "cells": {}}
+    gc.disable()
+    try:
+        for label, app, policy in cells:
+            trace = trace_cache.setdefault(app, spec2017(app, length=LENGTH))
+            best = {"reference": float("inf"), "fast": float("inf")}
+            for _ in range(rounds):
+                for engine in ENGINES:
+                    gc.collect()
+                    start = time.perf_counter()
+                    _simulate(trace, policy, engine)
+                    best[engine] = min(best[engine], time.perf_counter() - start)
+            report["cells"][label] = {
+                "reference_s": round(best["reference"], 4),
+                "fast_s": round(best["fast"], 4),
+                "speedup": round(best["reference"] / best["fast"], 3),
+                "fast_uops_per_s": round(LENGTH / best["fast"]),
+                "reference_uops_per_s": round(LENGTH / best["reference"]),
+            }
+    finally:
+        gc.enable()
+    speedups = [cell["speedup"] for cell in report["cells"].values()]
+    product = 1.0
+    for value in speedups:
+        product *= value
+    report["geomean_speedup"] = round(product ** (1 / len(speedups)), 3)
+    report["max_speedup"] = max(speedups)
+    return report
+
+
+if __name__ == "__main__":
+    import json
+    import pathlib
+
+    result = _measure_speedups()
+    path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {path}")

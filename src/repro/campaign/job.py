@@ -116,13 +116,19 @@ class Campaign:
         base_config: SystemConfig | None = None,
         workload_kind: str = "spec2017",
         name: str = "campaign",
+        engine: str | None = None,
     ) -> "Campaign":
         """Expand an apps × policies × SB-sizes × prefetchers cross product.
 
         Every figure in the paper is one slice of this matrix; deduplicated
         job keys guarantee a cell shared by several slices simulates once.
+        ``engine`` selects the execution engine for every cell ("reference"
+        or "fast"); it never changes results (see the differential harness)
+        or job keys, so cached cells stay shared across engines.
         """
         base = base_config or SystemConfig()
+        if engine is not None:
+            base = base.with_engine(engine)
         jobs: list[Job] = []
         seen: set[str] = set()
         for app in apps:

@@ -26,7 +26,7 @@ from repro.campaign.job import Campaign
 
 _REQUIRED = {"apps"}
 _OPTIONAL = {"name", "policies", "sb_sizes", "prefetchers", "length", "seed",
-             "warmup", "workload_kind"}
+             "warmup", "workload_kind", "engine"}
 
 
 class ManifestError(ValueError):

@@ -19,7 +19,7 @@ import sys
 from repro import SystemConfig, simulate, spec2017
 from repro.analysis.report import compile_report
 from repro.analysis.tables import ascii_bar_chart, format_table
-from repro.config.system import StorePrefetchPolicy
+from repro.config.system import SIM_ENGINES, StorePrefetchPolicy
 from repro.isa.serialize import load_trace, save_trace
 from repro.workloads import parsec_names, spec2017_names
 from repro.workloads.parsec import PARSEC_APPS
@@ -84,7 +84,7 @@ def _build_run_tracer(args, config):
 def _cmd_run(args) -> int:
     config = SystemConfig.skylake(
         sb_entries=args.sb, store_prefetch=args.policy,
-        cache_prefetcher=args.prefetcher,
+        cache_prefetcher=args.prefetcher, engine=args.engine,
     )
     tracer, ring, registry = _build_run_tracer(args, config)
     result = simulate(_build_trace(args), config, tracer=tracer)
@@ -134,7 +134,9 @@ def _cmd_compare(args) -> int:
     results = {}
     for policy in StorePrefetchPolicy:
         entries = 1024 if policy == StorePrefetchPolicy.IDEAL else args.sb
-        config = SystemConfig.skylake(sb_entries=entries, store_prefetch=policy)
+        config = SystemConfig.skylake(
+            sb_entries=entries, store_prefetch=policy, engine=args.engine
+        )
         results[policy.value] = simulate(trace, config)
     ideal_cycles = results["ideal"].cycles
     rows = [
@@ -201,6 +203,7 @@ def _cmd_campaign(args) -> int:
                 length=args.length,
                 seed=args.seed,
                 warmup=args.warmup,
+                engine=args.engine,
             )
         except ValueError as exc:
             print(f"campaign: bad flag value: {exc}", file=sys.stderr)
@@ -308,6 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sb", type=int, default=56, help="store-buffer entries")
     run.add_argument("--prefetcher", default="stream",
                      choices=("none", "stream", "aggressive", "adaptive"))
+    run.add_argument("--engine", default="reference", choices=SIM_ENGINES,
+                     help="execution engine; 'fast' is the cycle-skipping "
+                          "engine proven bit-identical by the differential "
+                          "harness (docs/FASTPATH.md)")
     run.add_argument("--trace", default="off",
                      choices=("off", "ring", "jsonl", "chrome"),
                      help="capture cycle-level events (ring buffer summary, "
@@ -324,6 +331,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="compare all policies")
     _add_workload_args(compare)
     compare.add_argument("--sb", type=int, default=14)
+    compare.add_argument("--engine", default="reference", choices=SIM_ENGINES,
+                         help="execution engine for every policy run")
     compare.set_defaults(func=_cmd_compare)
 
     campaign = sub.add_parser(
@@ -345,6 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=1)
     campaign.add_argument("--warmup", type=int, default=0,
                           help="warm-up micro-ops excluded from statistics")
+    campaign.add_argument("--engine", default="reference", choices=SIM_ENGINES,
+                          help="execution engine for every cell (results and "
+                               "cache keys are engine-independent)")
     campaign.add_argument("--manifest",
                           help="JSON manifest describing the matrix "
                                "(overrides the matrix flags)")

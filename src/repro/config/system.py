@@ -85,6 +85,13 @@ class SpbConfig:
         return 58 + self.counter_bits + store_count_bits
 
 
+#: Execution engines the runner can select.  ``reference`` is the plain
+#: cycle-driven pipeline (the executable specification); ``fast`` is the
+#: cycle-skipping engine in :mod:`repro.sim.fastpath`, proven bit-identical
+#: by the differential harness (:mod:`repro.sim.diffcheck`).
+SIM_ENGINES = ("reference", "fast")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Everything a simulation run needs to know about the machine."""
@@ -95,6 +102,10 @@ class SystemConfig:
     cache_prefetcher: CachePrefetcherKind = CachePrefetcherKind.STREAM
     spb: SpbConfig = field(default_factory=SpbConfig)
     num_cores: int = 1
+    # Which execution engine simulates this config.  The engine changes how
+    # fast the simulator runs, never what it computes, so it is excluded
+    # from :meth:`cache_key` (see there).
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         # Accept plain strings for the enums ("spb", "stream", ...).
@@ -106,6 +117,10 @@ class SystemConfig:
         )
         if self.num_cores <= 0:
             raise ValueError("num_cores must be positive")
+        if self.engine not in SIM_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {SIM_ENGINES}"
+            )
 
     @classmethod
     def skylake(
@@ -144,7 +159,20 @@ class SystemConfig:
         """Copy of this config with a different SB capacity."""
         return replace(self, core=self.core.with_store_buffer(entries))
 
+    def with_engine(self, engine: str) -> "SystemConfig":
+        """Copy of this config simulated by a different execution engine."""
+        return replace(self, engine=engine)
+
     def cache_key(self) -> str:
-        """Stable hash of the whole configuration, used by the results cache."""
-        payload = json.dumps(asdict(self), sort_keys=True, default=str)
+        """Stable hash of the machine description, used by the results cache.
+
+        The ``engine`` field is deliberately excluded: the differential
+        harness (:mod:`repro.sim.diffcheck`) proves both engines produce
+        bit-identical results, so the key identifies the *result*, not the
+        code path that computed it — fast and reference runs share cache
+        entries and committed benchmark results stay valid.
+        """
+        payload_dict = asdict(self)
+        payload_dict.pop("engine", None)
+        payload = json.dumps(payload_dict, sort_keys=True, default=str)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]

@@ -14,7 +14,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StoreBufferEntry:
     """One committed-but-not-performed store."""
 

@@ -33,7 +33,7 @@ class CacheStats:
         self.prefetch_fills += other.prefetch_fills
 
 
-@dataclass
+@dataclass(slots=True)
 class _Line:
     """One resident cache line."""
 
@@ -53,7 +53,11 @@ class SetAssociativeCache:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.policy = build_replacement_policy(config.replacement)
+        # LRU (the default everywhere) updates one integer per touch; inline
+        # that instead of paying a method call on every lookup/insert.
+        self._lru = self.policy.name == "lru"
         self._set_mask = config.num_sets - 1
+        self._assoc = config.associativity
         self._sets: list[dict[int, _Line]] = [{} for _ in range(config.num_sets)]
         self.stats = CacheStats()
 
@@ -62,27 +66,31 @@ class SetAssociativeCache:
 
     def lookup(self, block: int, cycle: int, *, count_tag: bool = True) -> MESIState | None:
         """Look a block up, updating recency.  ``None`` means miss."""
+        stats = self.stats
         if count_tag:
-            self.stats.tag_accesses += 1
-        line = self._set_for(block).get(block)
+            stats.tag_accesses += 1
+        line = self._sets[block & self._set_mask].get(block)
         if line is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
-        self.policy.on_access(line, cycle)
-        self.stats.hits += 1
+        if self._lru:
+            line.meta = cycle
+        else:
+            self.policy.on_access(line, cycle)
+        stats.hits += 1
         return line.state
 
     def peek(self, block: int) -> MESIState | None:
         """State of a block without touching recency or counters."""
-        line = self._set_for(block).get(block)
+        line = self._sets[block & self._set_mask].get(block)
         return None if line is None else line.state
 
     def was_prefetched(self, block: int) -> bool:
-        line = self._set_for(block).get(block)
+        line = self._sets[block & self._set_mask].get(block)
         return bool(line and line.prefetched)
 
     def clear_prefetched(self, block: int) -> None:
-        line = self._set_for(block).get(block)
+        line = self._sets[block & self._set_mask].get(block)
         if line is not None:
             line.prefetched = False
 
@@ -99,28 +107,33 @@ class SetAssociativeCache:
         The victim is reported as ``(block, state)`` so the hierarchy can
         write back dirty data and update the directory.
         """
-        cache_set = self._set_for(block)
+        cache_set = self._sets[block & self._set_mask]
         existing = cache_set.get(block)
         if existing is not None:
             existing.state = state
-            self.policy.on_access(existing, cycle)
+            if self._lru:
+                existing.meta = cycle
+            else:
+                self.policy.on_access(existing, cycle)
             if prefetched:
                 existing.prefetched = True
             return None
+        stats = self.stats
         victim: tuple[int, MESIState] | None = None
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self._assoc:
             victim_block = self.policy.victim(cache_set, cycle)
             victim_line = cache_set.pop(victim_block)
             victim = (victim_block, victim_line.state)
-            self.stats.evictions += 1
+            stats.evictions += 1
             if victim_line.state == MESIState.M:
-                self.stats.dirty_evictions += 1
-        line = _Line(state=state, meta=0, prefetched=prefetched)
-        self.policy.on_insert(line, cycle)
+                stats.dirty_evictions += 1
+        line = _Line(state=state, meta=cycle if self._lru else 0, prefetched=prefetched)
+        if not self._lru:
+            self.policy.on_insert(line, cycle)
         cache_set[block] = line
-        self.stats.insertions += 1
+        stats.insertions += 1
         if prefetched:
-            self.stats.prefetch_fills += 1
+            stats.prefetch_fills += 1
         return victim
 
     def set_state(self, block: int, state: MESIState) -> None:

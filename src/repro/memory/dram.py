@@ -49,9 +49,10 @@ class DramPort:
 
         Returns the queueing delay (always 0 for demand transfers).
         """
-        earliest = heapq.heappop(self._free_at)
+        free_at = self._free_at
+        earliest = heapq.heappop(free_at)
         start = max(cycle, earliest) if prefetch else cycle
-        heapq.heappush(self._free_at, start + self.burst_cycles)
+        heapq.heappush(free_at, start + self.burst_cycles)
         delay = start - cycle
         self.stats.accesses += 1
         if delay:

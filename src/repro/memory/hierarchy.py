@@ -20,17 +20,31 @@ from repro.memory.mshr import MSHRFile
 from repro.memory.tlb import TLB
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Outcome of one hierarchy access."""
+    """Outcome of one hierarchy access.
 
-    completion: int
-    level: str  # "L1", "L2", "L3" or "MEM" — where the block was found
-    coalesced: bool = False
+    A plain ``__slots__`` class rather than a dataclass: one is built per
+    hierarchy access, which makes construction cost part of the simulator's
+    hot path (frozen-dataclass ``__init__`` pays an ``object.__setattr__``
+    per field).
+    """
+
+    __slots__ = ("completion", "level", "coalesced")
+
+    def __init__(self, completion: int, level: str, coalesced: bool = False) -> None:
+        self.completion = completion
+        self.level = level  # "L1", "L2", "L3" or "MEM" — where found
+        self.coalesced = coalesced
 
     @property
     def l1_hit(self) -> bool:
         return self.level == "L1"
+
+    def __repr__(self) -> str:  # diagnostics only
+        return (
+            f"AccessResult(completion={self.completion}, level={self.level!r}, "
+            f"coalesced={self.coalesced})"
+        )
 
 
 @dataclass
@@ -56,6 +70,8 @@ class SharedUncore:
         self.directory = Directory(num_cores)
         # Table I gives the L3 its MSHRs per bank; we model one bank per core.
         self.l3_mshr = MSHRFile(config.l3.mshr_entries * max(1, num_cores))
+        self._l3_latency = config.l3.latency
+        self._dram_latency = config.dram_latency
         self.dram = DramPort(
             channels=config.dram_channels,
             burst_cycles=config.dram_burst_cycles,
@@ -103,11 +119,11 @@ class SharedUncore:
                 if hook is not None:
                     hook(block)
         if state is not None:
-            return self.config.l3.latency + extra, "L3"
+            return self._l3_latency + extra, "L3"
         # Miss in L3: fetch from memory through the L3 MSHRs and a
         # bandwidth-limited DRAM channel (demand transfers have priority).
         queue_delay = self.dram.schedule(cycle, prefetch=prefetch)
-        service = self.config.l3.latency + self.config.dram_latency + queue_delay
+        service = self._l3_latency + self._dram_latency + queue_delay
         completion = self.l3_mshr.allocate(block, cycle, service, prefetch=prefetch)
         self._fill_l3(block, cycle)
         return (completion - cycle) + extra, "MEM"
@@ -155,6 +171,8 @@ class MemoryHierarchy:
                 walk_latency=config.tlb_walk_latency,
             )
         self._blocks_per_page = config.blocks_per_page
+        self._l1_latency = config.l1d.latency
+        self._l2_latency = config.l2.latency
         self.traffic = TrafficStats()
         self.prefetcher = prefetcher
         self.prefetch_tracker = None  # attached by the store-prefetch engine
@@ -197,32 +215,34 @@ class MemoryHierarchy:
         self, block: int, cycle: int, *, want_write: bool, prefetch: bool
     ) -> AccessResult:
         """Resolve an L1 miss through L2, L3 and memory."""
-        in_flight = self.l1_mshr.in_flight(block, cycle)
+        l1_mshr = self.l1_mshr
+        traffic = self.traffic
+        in_flight = l1_mshr.in_flight(block, cycle)
         if in_flight is not None and (not want_write or block in self._inflight_write):
             if not prefetch:
-                in_flight = self.l1_mshr.promote(block, cycle) or in_flight
+                in_flight = l1_mshr.promote(block, cycle) or in_flight
             return AccessResult(completion=in_flight, level="L2", coalesced=True)
         if want_write:
             self._inflight_write.add(block)
-            if len(self._inflight_write) > 4 * self.l1_mshr.capacity:
+            if len(self._inflight_write) > 4 * l1_mshr.capacity:
                 self._inflight_write = {
                     b
                     for b in self._inflight_write
-                    if self.l1_mshr.in_flight(b, cycle) is not None
+                    if l1_mshr.in_flight(b, cycle) is not None
                 }
-        self.traffic.l1_miss_requests += 1
+        traffic.l1_miss_requests += 1
         if prefetch:
-            self.traffic.prefetch_miss_requests += 1
+            traffic.prefetch_miss_requests += 1
         l2_state = self.l2.lookup(block, cycle)
         if l2_state is not None and (not want_write or l2_state in WRITABLE_STATES):
-            service = self.config.l2.latency
+            service = self._l2_latency
             level = "L2"
         else:
             beyond, level = self.uncore.fetch(
                 self.core_id, block, cycle, want_write=want_write, prefetch=prefetch
             )
-            service = self.config.l2.latency + beyond
-        completion = self.l1_mshr.allocate(block, cycle, service, prefetch=prefetch)
+            service = self._l2_latency + beyond
+        completion = l1_mshr.allocate(block, cycle, service, prefetch=prefetch)
         state = (
             self.uncore.grant_state(self.core_id, block, want_write)
             if level in ("L3", "MEM")
@@ -245,18 +265,20 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def load(self, block: int, cycle: int, *, wrong_path: bool = False) -> AccessResult:
         """Demand (or wrong-path) load of a block."""
+        traffic = self.traffic
+        l1_mshr = self.l1_mshr
         if wrong_path:
-            self.traffic.wrong_path_loads += 1
+            traffic.wrong_path_loads += 1
         else:
-            self.traffic.demand_loads += 1
+            traffic.demand_loads += 1
             if self.tlb is not None:
                 cycle += self.tlb.translate(block // self._blocks_per_page, cycle)
         state = self.l1d.lookup(block, cycle)
         if state is not None:
             in_flight = (
-                self.l1_mshr.in_flight(block, cycle)
+                l1_mshr.in_flight(block, cycle)
                 if wrong_path
-                else self.l1_mshr.promote(block, cycle)
+                else l1_mshr.promote(block, cycle)
             )
             if in_flight is not None:
                 # The line was installed at request time but the fill is
@@ -269,7 +291,7 @@ class MemoryHierarchy:
                         self.prefetcher.on_useful_prefetch()
                 self._run_prefetcher(block, True, False, cycle)
                 result = AccessResult(
-                    completion=cycle + self.config.l1d.latency, level="L1"
+                    completion=cycle + self._l1_latency, level="L1"
                 )
         else:
             result = self._miss_path(block, cycle, want_write=False, prefetch=False)
@@ -309,7 +331,7 @@ class MemoryHierarchy:
                 self.l1d.set_state(block, MESIState.M)
             if not prefetch:
                 self._run_prefetcher(block, True, True, cycle)
-            result = AccessResult(completion=cycle + self.config.l1d.latency, level="L1")
+            result = AccessResult(completion=cycle + self._l1_latency, level="L1")
         elif state == MESIState.S:
             # Upgrade: invalidate remote sharers through the directory.
             extra, _ = self.uncore.fetch(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from heapq import heappop, heappush
 
 
 @dataclass
@@ -62,10 +63,12 @@ class MSHRFile:
             tracer.emit(cycle, "mshr.release", core=self.core, value=completion)
 
     def _expire(self, cycle: int) -> None:
-        while self._demand and self._demand[0] <= cycle:
-            self._release(cycle, heapq.heappop(self._demand))
-        while self._prefetch and self._prefetch[0] <= cycle:
-            self._release(cycle, heapq.heappop(self._prefetch))
+        demand = self._demand
+        while demand and demand[0] <= cycle:
+            self._release(cycle, heappop(demand))
+        prefetch = self._prefetch
+        while prefetch and prefetch[0] <= cycle:
+            self._release(cycle, heappop(prefetch))
         if len(self._by_block) > 4 * self.capacity:
             self._by_block = {
                 block: entry
@@ -100,7 +103,7 @@ class MSHRFile:
             entry.start = cycle
             entry.completion = cycle + entry.service
             entry.prefetch = False
-            heapq.heappush(self._demand, entry.completion)
+            heappush(self._demand, entry.completion)
             self.stats.promotions += 1
             tracer = self.tracer
             if tracer is not None:
@@ -141,13 +144,13 @@ class MSHRFile:
                 self.stats.total_delay_cycles += start - cycle
         else:
             if len(self._demand) >= self.capacity:
-                earliest = heapq.heappop(self._demand)
+                earliest = heappop(self._demand)
                 self._release(cycle, earliest)
                 start = max(cycle, earliest)
                 self.stats.full_delays += 1
                 self.stats.total_delay_cycles += start - cycle
         completion = start + service_latency
-        heapq.heappush(self._prefetch if prefetch else self._demand, completion)
+        heappush(self._prefetch if prefetch else self._demand, completion)
         self._by_block[block] = _Entry(completion, start, service_latency, prefetch)
         if prefetch:
             self.stats.prefetch_allocations += 1
@@ -163,8 +166,8 @@ class MSHRFile:
 
     def _pop_earliest(self) -> int:
         if self._demand and (not self._prefetch or self._demand[0] <= self._prefetch[0]):
-            return heapq.heappop(self._demand)
-        return heapq.heappop(self._prefetch)
+            return heappop(self._demand)
+        return heappop(self._prefetch)
 
     def would_delay(self, cycle: int, *, prefetch: bool = False) -> bool:
         """True when a new allocation at ``cycle`` could not start immediately."""

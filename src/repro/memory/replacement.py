@@ -34,6 +34,10 @@ class ReplacementPolicy:
         raise NotImplementedError
 
 
+def _meta_of(item: tuple) -> int:
+    return item[1].meta
+
+
 class LRUPolicy(ReplacementPolicy):
     """Exact least-recently-used."""
 
@@ -46,7 +50,10 @@ class LRUPolicy(ReplacementPolicy):
         line.meta = cycle
 
     def victim(self, cache_set, cycle: int) -> int:
-        return min(cache_set, key=lambda b: cache_set[b].meta)
+        # min over items() visits each line once instead of re-hashing the
+        # block for every comparison; ties resolve to the first-inserted
+        # block in both forms (dict iteration order).
+        return min(cache_set.items(), key=_meta_of)[0]
 
 
 class FIFOPolicy(ReplacementPolicy):
@@ -61,7 +68,7 @@ class FIFOPolicy(ReplacementPolicy):
         pass  # hits do not refresh age
 
     def victim(self, cache_set, cycle: int) -> int:
-        return min(cache_set, key=lambda b: cache_set[b].meta)
+        return min(cache_set.items(), key=_meta_of)[0]
 
 
 class RandomPolicy(ReplacementPolicy):

@@ -16,6 +16,7 @@ from repro.core.policies import build_store_prefetch_engine
 from repro.cpu.pipeline import Pipeline
 from repro.isa.trace import Trace
 from repro.memory.hierarchy import MemoryHierarchy, SharedUncore
+from repro.sim.fastpath import pipeline_class
 from repro.prefetch import build_prefetcher
 from repro.stats.counters import PipelineStats
 
@@ -71,8 +72,10 @@ class MulticoreSystem:
             engine = build_store_prefetch_engine(
                 config.store_prefetch, hierarchy, config.spb, tracer=tracer
             )
+            # pipeline_class honours config.engine; FastPipeline only
+            # overrides run(), so the lockstep step() path is shared either way.
             self.pipelines.append(
-                Pipeline(
+                pipeline_class(config.engine)(
                     config, trace, hierarchy, engine,
                     seed=seed + core_id, tracer=tracer,
                 )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 
 @dataclass
@@ -32,8 +33,13 @@ class PrefetcherBase:
 
     def on_demand(
         self, block: int, hit: bool, is_store: bool, cycle: int
-    ) -> list[tuple[int, bool]]:
-        """Return ``[(block, want_write), ...]`` prefetches to issue now."""
+    ) -> "Sequence[tuple[int, bool]]":
+        """Return ``[(block, want_write), ...]`` prefetches to issue now.
+
+        The result may be any sequence — implementations return a shared
+        empty tuple on the (dominant) nothing-to-do path to avoid
+        allocating a list per demand access.
+        """
         self.stats.demand_observations += 1
         proposals = self._propose(block, hit, is_store, cycle)
         self.stats.issued += len(proposals)
@@ -45,7 +51,7 @@ class PrefetcherBase:
 
     def _propose(
         self, block: int, hit: bool, is_store: bool, cycle: int
-    ) -> list[tuple[int, bool]]:
+    ) -> "Sequence[tuple[int, bool]]":
         raise NotImplementedError
 
 
@@ -53,4 +59,4 @@ class NullPrefetcher(PrefetcherBase):
     """No cache prefetching at all."""
 
     def _propose(self, block, hit, is_store, cycle):
-        return []
+        return ()

@@ -12,19 +12,21 @@ stream.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from repro.prefetch.base import PrefetcherBase
 
 _TABLE_ENTRIES = 16
+_BY_CYCLE = itemgetter(1)
 
 
 class _StreamEntry:
-    __slots__ = ("last_block", "stride", "confirmed", "last_cycle")
+    __slots__ = ("last_block", "stride", "confirmed")
 
-    def __init__(self, block: int, cycle: int) -> None:
+    def __init__(self, block: int) -> None:
         self.last_block = block
         self.stride = 0
         self.confirmed = False
-        self.last_cycle = cycle
 
 
 class StreamPrefetcher(PrefetcherBase):
@@ -37,28 +39,32 @@ class StreamPrefetcher(PrefetcherBase):
         self.degree = degree
         self.table_entries = table_entries
         self._table: dict[int, _StreamEntry] = {}  # keyed by block >> 6 (region)
+        # Last-touch cycle per region, kept in lockstep with ``_table`` (same
+        # insertion order, so min() tie-breaks identically); a flat int dict
+        # lets the LRU eviction scan run on a C-level key function.
+        self._last: dict[int, int] = {}
 
     def _region(self, block: int) -> int:
         # Track streams per 4 KiB region so independent streams don't alias.
         return block >> 6
 
     def _entry_for(self, block: int, cycle: int) -> _StreamEntry:
-        region = self._region(block)
+        region = block >> 6
         entry = self._table.get(region)
         if entry is None:
             if len(self._table) >= self.table_entries:
                 # Evict the least recently used stream.
-                oldest = min(self._table, key=lambda r: self._table[r].last_cycle)
+                oldest = min(self._last.items(), key=_BY_CYCLE)[0]
                 del self._table[oldest]
-            entry = _StreamEntry(block, cycle)
+                del self._last[oldest]
+            entry = _StreamEntry(block)
             self._table[region] = entry
+        self._last[region] = cycle
         return entry
 
     def _propose(self, block, hit, is_store, cycle):
         entry = self._entry_for(block, cycle)
-        entry.last_cycle = cycle
         delta = block - entry.last_block
-        proposals: list[tuple[int, bool]] = []
         if delta != 0:
             if delta == entry.stride and entry.stride != 0:
                 entry.confirmed = True
@@ -67,8 +73,8 @@ class StreamPrefetcher(PrefetcherBase):
                 entry.confirmed = False
             entry.last_block = block
         if entry.confirmed and entry.stride != 0:
-            proposals = [
+            return [
                 (block + entry.stride * step, is_store)
                 for step in range(1, self.degree + 1)
             ]
-        return proposals
+        return ()  # shared empty — most demand accesses propose nothing

@@ -1,11 +1,27 @@
-"""Simulation entry points and experiment sweeps."""
+"""Simulation entry points, execution engines and experiment sweeps."""
 
-from repro.sim.runner import simulate, simulate_multicore, ResultsCache, result_key
+from repro.sim.diffcheck import (
+    DiffCase,
+    DiffReport,
+    default_matrix,
+    diff_trace,
+    run_case,
+    run_matrix,
+    shrink_case,
+)
+from repro.sim.fastpath import ENGINE_CLASSES, FastPipeline, pipeline_class
+from repro.sim.runner import (
+    ResultsCache,
+    result_key,
+    simulate,
+    simulate_multicore,
+    split_warmup,
+)
 from repro.sim.sweep import (
+    geomean,
+    normalized_performance,
     policy_sweep,
     sb_size_sweep,
-    normalized_performance,
-    geomean,
 )
 
 __all__ = [
@@ -13,6 +29,17 @@ __all__ = [
     "simulate_multicore",
     "ResultsCache",
     "result_key",
+    "split_warmup",
+    "ENGINE_CLASSES",
+    "FastPipeline",
+    "pipeline_class",
+    "DiffCase",
+    "DiffReport",
+    "default_matrix",
+    "diff_trace",
+    "run_case",
+    "run_matrix",
+    "shrink_case",
     "policy_sweep",
     "sb_size_sweep",
     "normalized_performance",

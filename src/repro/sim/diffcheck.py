@@ -1,0 +1,303 @@
+"""Differential harness proving the fast engine bit-identical to the reference.
+
+The fast engine (:mod:`repro.sim.fastpath`) is only admissible because it
+computes *exactly* what the reference pipeline computes.  This module is the
+proof machinery: it runs one (workload, configuration) case through both
+engines and compares
+
+* every counter in the :class:`~repro.stats.result.SimResult` tree,
+  recursively — pipeline stats, stall breakdowns, SB/MSHR/cache/traffic/
+  energy counters, per-region extras;
+* the full cycle-level event stream — same events, same order, same cycle
+  stamps (compared via :func:`repro.trace.events_digest` plus a first-diverging
+  -event report for debuggability);
+* optionally, the trace-derived metrics of a
+  :class:`~repro.trace.MetricsRegistry` shadow check on each engine.
+
+``tests/test_differential.py`` drives :func:`default_matrix` (tier-1
+workloads × all store-prefetch policies × warmup on/off) and a
+hypothesis-driven fuzzer through :func:`run_case`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import Sequence
+
+from repro.config.system import StorePrefetchPolicy, SystemConfig
+from repro.isa.trace import Trace
+from repro.sim.runner import simulate
+from repro.trace import CollectorSink, Tracer, events_digest, shadow_registry_for
+from repro.workloads.spec import spec2017
+
+#: Matrix rows: (workload, trace length, warmup settings).  Lengths are
+#: chosen so the trace actually reaches each workload's store phases — the
+#: phase scheduler starts every app on loads/compute, and e.g. bwaves emits
+#: its first store at µop ~4400 — because storeless cells would leave the
+#: fast engine's SB/drain/SPB paths unproven.  The second warm-up value for
+#: the store-heavy apps deliberately splits the trace *inside* a store
+#: phase, so the warm/measured boundary lands mid-burst.
+MATRIX_CELLS = (
+    ("exchange2", 4_000, (0, 1_000)),  # compute-bound, no stores
+    ("mcf", 4_000, (0, 1_000)),        # load/miss-bound, no stores
+    ("bwaves", 8_000, (0, 5_000)),     # memcpy store bursts from ~µop 4400
+    ("roms", 6_000, (0, 4_800)),       # application-code stores from ~µop 4400
+)
+
+#: Default trace length for one-off cases (no stores at this length — use
+#: the store-heavy MATRIX_CELLS rows or a longer trace for SB coverage).
+MATRIX_LENGTH = 4_000
+
+
+@dataclass(frozen=True)
+class DiffCase:
+    """One differential-testing case: a workload run under one configuration.
+
+    The ``config``'s own ``engine`` field is irrelevant — :func:`run_case`
+    forces both engines via :meth:`SystemConfig.with_engine`.
+    """
+
+    workload: str
+    config: SystemConfig
+    length: int = MATRIX_LENGTH
+    seed: int = 1
+    warmup: int = 0
+    sim_seed: int = 7
+
+    def describe(self) -> str:
+        """Stable human-readable label (used as the pytest parametrize id)."""
+        return (
+            f"{self.workload}-{self.config.store_prefetch.value}"
+            f"-sb{self.config.core.store_buffer_per_thread}"
+            f"-pf{self.config.cache_prefetcher.value}"
+            f"-L{self.length}-s{self.seed}-w{self.warmup}"
+        )
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential run: the divergences, if any."""
+
+    case: DiffCase
+    problems: list[str]
+
+    @property
+    def identical(self) -> bool:
+        return not self.problems
+
+    def message(self) -> str:
+        head = f"engines diverge on {self.case.describe()}:"
+        return "\n".join([head, *(f"  {p}" for p in self.problems)])
+
+
+def compare_values(path: str, ref, fast, problems: list[str]) -> None:
+    """Recursively compare two result values, recording divergences.
+
+    Handles dataclasses (field by field), dicts, sequences and scalars.
+    Floats are compared exactly — both engines run the same float ops in the
+    same order, so any drift is a real behavioural divergence, not rounding.
+    """
+    if is_dataclass(ref) and is_dataclass(fast):
+        if type(ref) is not type(fast):
+            problems.append(f"{path}: type {type(ref).__name__} != {type(fast).__name__}")
+            return
+        for f in fields(ref):
+            compare_values(
+                f"{path}.{f.name}", getattr(ref, f.name), getattr(fast, f.name), problems
+            )
+        return
+    if isinstance(ref, dict) and isinstance(fast, dict):
+        for key in ref.keys() | fast.keys():
+            if key not in ref:
+                problems.append(f"{path}[{key!r}]: only in fast result")
+            elif key not in fast:
+                problems.append(f"{path}[{key!r}]: only in reference result")
+            else:
+                compare_values(f"{path}[{key!r}]", ref[key], fast[key], problems)
+        return
+    if (
+        isinstance(ref, (list, tuple))
+        and isinstance(fast, (list, tuple))
+        and not isinstance(ref, str)
+    ):
+        if len(ref) != len(fast):
+            problems.append(f"{path}: length {len(ref)} != {len(fast)}")
+            return
+        for index, (a, b) in enumerate(zip(ref, fast)):
+            compare_values(f"{path}[{index}]", a, b, problems)
+        return
+    if isinstance(ref, float) and isinstance(fast, float):
+        if math.isnan(ref) and math.isnan(fast):
+            return
+        if ref != fast:
+            problems.append(f"{path}: {ref!r} != {fast!r}")
+        return
+    if ref != fast:
+        problems.append(f"{path}: {ref!r} != {fast!r}")
+
+
+def compare_results(ref, fast) -> list[str]:
+    """All divergences between two :class:`SimResult` trees (empty = identical)."""
+    problems: list[str] = []
+    compare_values("result", ref, fast, problems)
+    return problems
+
+
+def compare_events(ref_events: Sequence, fast_events: Sequence) -> list[str]:
+    """Compare two full event streams: order, cycles and payloads.
+
+    The cheap check is a digest over the canonical JSONL form; on mismatch
+    the first diverging event is located and reported so a failure points at
+    the exact cycle rather than just "streams differ".
+    """
+    if events_digest(ref_events) == events_digest(fast_events):
+        return []
+    problems = [
+        f"event streams differ: {len(ref_events)} reference event(s) "
+        f"vs {len(fast_events)} fast event(s)"
+    ]
+    for index, (a, b) in enumerate(zip(ref_events, fast_events)):
+        if a != b:
+            problems.append(
+                f"first divergence at event {index}: "
+                f"reference={a.to_json()} fast={b.to_json()}"
+            )
+            break
+    else:
+        extra = ref_events if len(ref_events) > len(fast_events) else fast_events
+        which = "reference" if len(ref_events) > len(fast_events) else "fast"
+        index = min(len(ref_events), len(fast_events))
+        problems.append(
+            f"streams agree up to event {index}; first extra {which} event: "
+            f"{extra[index].to_json()}"
+        )
+    return problems
+
+
+def _run_engine(
+    trace: Trace, case: DiffCase, engine: str, shadow: bool
+):
+    """One engine's run: (result, events, shadow problems)."""
+    config = case.config.with_engine(engine)
+    collector = CollectorSink()
+    sinks: list[object] = [collector]
+    registry = shadow_registry_for(config) if shadow else None
+    if registry is not None:
+        sinks.append(registry)
+    result = simulate(
+        trace, config, seed=case.sim_seed, warmup=case.warmup,
+        tracer=Tracer(sinks),
+    )
+    shadow_problems: list[str] = []
+    if registry is not None:
+        shadow_problems = [
+            f"shadow[{engine}]: {problem}"
+            for problem in registry.diff(
+                pipeline=result.pipeline,
+                sb_stats=result.sb_stats,
+                mshr_stats=result.extras.get("l1_mshr"),
+                traffic=result.traffic,
+                engine_stats=result.engine_stats,
+                detector_stats=result.detector_stats,
+            )
+        ]
+    return result, collector.events, shadow_problems
+
+
+def run_case(case: DiffCase, *, shadow: bool = False) -> DiffReport:
+    """Run ``case`` on both engines and diff everything observable.
+
+    The workload trace is built once and fed to both engines, so the only
+    variable is the execution engine.  With ``shadow=True`` each engine also
+    carries a :func:`shadow_registry_for` registry whose event-derived
+    metrics must match that engine's own counters.
+    """
+    trace = spec2017(case.workload, length=case.length, seed=case.seed)
+    return diff_trace(trace, case, shadow=shadow)
+
+
+def diff_trace(trace: Trace, case: DiffCase, *, shadow: bool = False) -> DiffReport:
+    """Differential run of an already-built trace (synthetic traces welcome).
+
+    ``case.workload``/``length``/``seed`` are labels only here; the trace is
+    used as given, which lets tests feed hand-built store bursts through the
+    same comparison machinery.
+    """
+    ref_result, ref_events, ref_shadow = _run_engine(trace, case, "reference", shadow)
+    fast_result, fast_events, fast_shadow = _run_engine(trace, case, "fast", shadow)
+    problems = compare_results(ref_result, fast_result)
+    problems += compare_events(ref_events, fast_events)
+    problems += ref_shadow
+    problems += fast_shadow
+    return DiffReport(case=case, problems=problems)
+
+
+def default_matrix(
+    cells: Sequence[tuple[str, int, Sequence[int]]] = MATRIX_CELLS,
+    *,
+    sb_entries: int = 14,
+) -> list[DiffCase]:
+    """The CI differential matrix: workloads × every policy × warmup on/off.
+
+    SB size 14 (the paper's most constrained configuration) maximises
+    SB-full stalls, which is where the fast engine's cycle-skipping logic
+    is busiest and most likely to diverge.  The ideal policy runs with an
+    unbounded SB, as everywhere else in the suite.
+    """
+    cases = []
+    for workload, length, warmups in cells:
+        for policy in StorePrefetchPolicy:
+            entries = 1024 if policy is StorePrefetchPolicy.IDEAL else sb_entries
+            config = SystemConfig.skylake(sb_entries=entries, store_prefetch=policy)
+            for warmup in warmups:
+                cases.append(
+                    DiffCase(
+                        workload=workload, config=config,
+                        length=length, warmup=warmup,
+                    )
+                )
+    return cases
+
+
+def shrink_case(case: DiffCase, *, shadow: bool = False) -> DiffCase:
+    """Reduce a diverging case to a smaller one that still diverges.
+
+    Used by the fuzzer's failure path: repeatedly halve the trace length and
+    drop warm-up while the divergence persists, so the reported repro is the
+    smallest this greedy search can find.  Returns ``case`` unchanged if it
+    does not actually diverge.
+    """
+    if run_case(case, shadow=shadow).identical:
+        return case
+    current = case
+    changed = True
+    while changed:
+        changed = False
+        trials = []
+        shorter = max(64, current.length // 2)
+        if shorter < current.length:
+            trials.append(
+                replace(current, length=shorter, warmup=min(current.warmup, shorter // 2))
+            )
+        if current.warmup:
+            trials.append(replace(current, warmup=0))
+        for trial in trials:
+            if not run_case(trial, shadow=shadow).identical:
+                current = trial
+                changed = True
+                break
+    return current
+
+
+def run_matrix(
+    cases: Sequence[DiffCase] | None = None, *, shadow: bool = False
+) -> list[DiffReport]:
+    """Run a whole matrix; returns only the diverging reports."""
+    if cases is None:
+        cases = default_matrix()
+    return [
+        report
+        for report in (run_case(case, shadow=shadow) for case in cases)
+        if not report.identical
+    ]

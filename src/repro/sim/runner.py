@@ -15,7 +15,6 @@ from typing import Sequence
 from repro.config.system import SystemConfig
 from repro.core.policies import SpbPrefetch, build_store_prefetch_engine
 from repro.core.spb import SpbStats
-from repro.cpu.pipeline import Pipeline
 from repro.energy.model import EnergyModel
 from repro.isa.trace import Trace
 from repro.memory.cache import CacheStats
@@ -26,8 +25,26 @@ from repro.memory.tlb import TLBStats
 from repro.multicore.system import MulticoreResult, MulticoreSystem
 from repro.prefetch import build_prefetcher
 from repro.prefetch.stats import PrefetchOutcomeTracker
+from repro.sim.fastpath import pipeline_class
 from repro.stats.result import SimResult
 from repro.stats.topdown import TopDownMetrics
+
+
+def split_warmup(trace: Trace, warmup: int) -> tuple[Trace | None, Trace]:
+    """Split ``trace`` into its warm-up slice and the measured remainder.
+
+    This is the single source of truth for warm-up slicing: every engine
+    (reference and fast) measures exactly the same µops because both go
+    through this helper.  A non-positive ``warmup`` or one that covers the
+    whole trace yields no warm-up slice (the run is measured end to end) —
+    the single-slice edge case.
+    """
+    if warmup <= 0 or warmup >= len(trace):
+        return None, trace
+    ops = list(trace)  # materialise once; both halves share the list
+    warm = Trace(ops[:warmup], name=trace.name, regions=trace.regions)
+    rest = Trace(ops[warmup:], name=trace.name, regions=trace.regions)
+    return warm, rest
 
 
 def _reset_measurement_state(hierarchy: MemoryHierarchy, engine) -> None:
@@ -86,20 +103,17 @@ def simulate(
         config.caches, prefetcher=build_prefetcher(config.cache_prefetcher)
     )
     engine = build_store_prefetch_engine(config.store_prefetch, hierarchy, config.spb)
+    cls = pipeline_class(config.engine)
     start_cycle = 0
-    if warmup > 0 and warmup < len(trace):
-        ops = list(trace)  # materialise once; both halves share the list
-        warm_part = Trace(ops[:warmup], name=trace.name,
-                          regions=trace.regions)
-        trace = Trace(ops[warmup:], name=trace.name,
-                      regions=trace.regions)
-        warm_pipeline = Pipeline(config, warm_part, hierarchy, engine, seed=seed)
+    warm_part, trace = split_warmup(trace, warmup)
+    if warm_part is not None:
+        warm_pipeline = cls(config, warm_part, hierarchy, engine, seed=seed)
         warm_pipeline.run()
         start_cycle = warm_pipeline.cycle
         _reset_measurement_state(hierarchy, engine)
     if tracer is not None:
         _attach_tracer(tracer, hierarchy, engine)
-    pipeline = Pipeline(
+    pipeline = cls(
         config, trace, hierarchy, engine, seed=seed, start_cycle=start_cycle,
         tracer=tracer,
     )

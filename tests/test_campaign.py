@@ -411,3 +411,30 @@ class TestGeomeanDropReporting:
 
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
         assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+
+class TestCampaignEngine:
+    def test_matrix_engine_param_sets_every_cell(self):
+        campaign = Campaign.matrix(
+            apps=["bwaves"], policies=["at-commit", "spb"], sb_sizes=[14, 28],
+            engine="fast",
+        )
+        assert all(job.config.engine == "fast" for job in campaign)
+
+    def test_engine_does_not_change_job_keys(self):
+        # Fast and reference cells must share cache/store entries.
+        reference = Campaign.matrix(apps=["bwaves"], policies=["at-commit"])
+        fast = Campaign.matrix(apps=["bwaves"], policies=["at-commit"], engine="fast")
+        assert [job.key for job in reference] == [job.key for job in fast]
+
+    def test_matrix_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            Campaign.matrix(apps=["bwaves"], engine="turbo")
+
+    def test_manifest_engine_key(self):
+        campaign = campaign_from_manifest({"apps": ["bwaves"], "engine": "fast"})
+        assert all(job.config.engine == "fast" for job in campaign)
+
+    def test_manifest_rejects_bad_engine(self):
+        with pytest.raises(ManifestError):
+            campaign_from_manifest({"apps": ["bwaves"], "engine": "turbo"})

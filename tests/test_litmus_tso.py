@@ -9,6 +9,8 @@ exactly the class of bug aggregate cycle counters cannot see.
 
 from __future__ import annotations
 
+import os
+
 from repro.trace.litmus import LitmusMachine, fence, ld, run_litmus, st
 
 SEEDS = range(250)
@@ -134,3 +136,45 @@ class TestSameAddressCoherence:
             machine.run()
             assert machine.memory["x"] == 2
             assert machine.registers[(1, "r1")] in (0, 1, 2)
+
+
+class TestEngineIndependence:
+    """TSO-visible store ordering must not depend on the execution engine.
+
+    The litmus machine above drives the SB and MESI hierarchy directly, so
+    it cannot see the pipeline engine at all; this class closes that gap by
+    checking the *pipeline-driven* SB event stream.  ``REPRO_ENGINE``
+    selects which engine simulates (CI runs the litmus step once per
+    engine); the cross-engine test additionally pins both streams against
+    each other in a single run.
+    """
+
+    ENGINE = os.environ.get("REPRO_ENGINE", "reference")
+
+    @staticmethod
+    def _sb_events(engine: str):
+        from repro import SystemConfig, simulate, spec2017
+        from repro.trace import CollectorSink, Tracer
+
+        sink = CollectorSink()
+        config = SystemConfig.skylake(
+            sb_entries=14, store_prefetch="at-commit", engine=engine
+        )
+        simulate(
+            spec2017("bwaves", length=6_000), config,
+            tracer=Tracer([sink], kinds="sb.*"),
+        )
+        return sink.events
+
+    def test_sb_drains_fifo_under_selected_engine(self):
+        """Drains leave the SB in insertion order — the TSO FIFO invariant."""
+        events = self._sb_events(self.ENGINE)
+        inserted = [e.block for e in events if e.kind == "sb.insert"]
+        drained = [e.block for e in events if e.kind == "sb.drain"]
+        assert drained, "store-heavy workload must drain stores"
+        assert drained == inserted[: len(drained)], (
+            f"engine {self.ENGINE!r} drained stores out of FIFO order"
+        )
+
+    def test_sb_event_stream_identical_across_engines(self):
+        assert self._sb_events("reference") == self._sb_events("fast")

@@ -1,0 +1,96 @@
+"""Performance-regression guard for the two execution engines.
+
+Two assertions, both on the canonical compute-bound workload (exchange2,
+where the pipeline loop — not the memory hierarchy — dominates, so engine
+speedups are cleanest):
+
+* the fast engine is at least 1.5× the reference engine, measured
+  in-process on the same machine in the same run (machine-independent);
+* the reference engine has not regressed more than 20% against the
+  throughput recorded in the committed ``BENCH_fastpath.json`` snapshot
+  (machine-dependent — skip on slow machines).
+
+``REPRO_SKIP_PERF=1`` skips the whole module (laptops, loaded CI boxes).
+Regenerate the snapshot with ``python benchmarks/bench_simulator_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import SystemConfig, simulate, spec2017
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF") == "1",
+    reason="REPRO_SKIP_PERF=1: perf guard disabled on this machine",
+)
+
+LENGTH = 10_000
+ROUNDS = 5
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+
+
+@pytest.fixture(scope="module")
+def timings():
+    """Best-of-N seconds per engine, interleaved so load drift cancels."""
+    trace = spec2017("exchange2", length=LENGTH)
+    configs = {
+        engine: SystemConfig.skylake(
+            sb_entries=14, store_prefetch="at-commit", engine=engine
+        )
+        for engine in ("reference", "fast")
+    }
+    for config in configs.values():
+        simulate(trace, config)  # warm imports/JIT-free but touches caches
+    best = {engine: float("inf") for engine in configs}
+    gc.disable()
+    try:
+        for _ in range(ROUNDS):
+            for engine, config in configs.items():
+                gc.collect()
+                start = time.perf_counter()
+                result = simulate(trace, config)
+                best[engine] = min(best[engine], time.perf_counter() - start)
+                assert result.pipeline.committed_uops == LENGTH
+    finally:
+        gc.enable()
+    return best
+
+
+def test_fast_engine_at_least_1_5x_reference(timings):
+    speedup = timings["reference"] / timings["fast"]
+    assert speedup >= 1.5, (
+        f"fast engine only {speedup:.2f}x reference "
+        f"(ref {timings['reference']:.4f}s, fast {timings['fast']:.4f}s); "
+        "the cycle-skipping path has regressed"
+    )
+
+
+def test_reference_engine_not_regressed_vs_snapshot(timings):
+    snapshot = json.loads(BENCH_PATH.read_text())
+    baseline = snapshot["cells"]["compute/at-commit"]["reference_uops_per_s"]
+    measured = LENGTH / timings["reference"]
+    floor = 0.8 * baseline
+    assert measured >= floor, (
+        f"reference engine at {measured:.0f} µops/s, more than 20% below the "
+        f"committed baseline of {baseline} µops/s (floor {floor:.0f}); "
+        "either fix the regression or regenerate BENCH_fastpath.json via "
+        "'python benchmarks/bench_simulator_throughput.py' "
+        "(REPRO_SKIP_PERF=1 skips on slow machines)"
+    )
+
+
+def test_snapshot_records_the_target_speedup():
+    """The committed snapshot itself must document the ≥2× headline."""
+    snapshot = json.loads(BENCH_PATH.read_text())
+    assert snapshot["geomean_speedup"] >= 2.0
+    assert snapshot["max_speedup"] >= 2.0
+    assert set(snapshot["cells"]) == {
+        "compute/at-commit", "memory/at-commit", "burst/at-commit", "burst/spb",
+    }

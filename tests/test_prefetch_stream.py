@@ -8,15 +8,15 @@ from repro.prefetch.base import NullPrefetcher
 class TestNullPrefetcher:
     def test_never_proposes(self):
         pf = NullPrefetcher()
-        assert pf.on_demand(10, False, False, 0) == []
+        assert list(pf.on_demand(10, False, False, 0)) == []
         assert pf.stats.issued == 0
 
 
 class TestStreamConfirmation:
     def test_needs_two_equal_strides(self):
         pf = StreamPrefetcher()
-        assert pf.on_demand(10, False, False, 0) == []
-        assert pf.on_demand(11, False, False, 1) == []  # stride learned
+        assert list(pf.on_demand(10, False, False, 0)) == []
+        assert list(pf.on_demand(11, False, False, 1)) == []  # stride learned
         proposals = pf.on_demand(12, False, False, 2)  # stride confirmed
         assert proposals == [(13, False)]
 
@@ -30,14 +30,14 @@ class TestStreamConfirmation:
         pf = StreamPrefetcher()
         for i, block in enumerate((10, 11, 12)):
             pf.on_demand(block, False, False, i)
-        assert pf.on_demand(20, False, False, 3) == []  # stride broken
+        assert list(pf.on_demand(20, False, False, 3)) == []  # stride broken
         # The new stride confirms on its second occurrence.
         assert pf.on_demand(28, False, False, 4) == [(36, False)]
 
     def test_same_block_repeats_do_not_confirm(self):
         pf = StreamPrefetcher()
         for i in range(5):
-            assert pf.on_demand(10, False, False, i) == []
+            assert list(pf.on_demand(10, False, False, i)) == []
 
     def test_negative_stride_supported(self):
         pf = StreamPrefetcher()

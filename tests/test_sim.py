@@ -153,3 +153,91 @@ class TestSweeps:
             policies=[StorePrefetchPolicy.AT_COMMIT], length=5_000,
         )
         assert "at-commit" in results["gcc"]
+
+
+class TestSplitWarmup:
+    """The shared warm-up slicer both engines must go through."""
+
+    def test_splits_at_the_boundary(self):
+        from repro.sim.runner import split_warmup
+
+        trace = spec2017("gcc", length=4_000)
+        warm, rest = split_warmup(trace, 1_500)
+        assert len(warm) == 1_500
+        assert len(rest) == 2_500
+        assert list(warm) + list(rest) == list(trace)
+        assert warm.name == rest.name == trace.name
+
+    def test_zero_warmup_is_single_slice(self):
+        from repro.sim.runner import split_warmup
+
+        trace = spec2017("gcc", length=1_000)
+        warm, rest = split_warmup(trace, 0)
+        assert warm is None
+        assert rest is trace
+
+    def test_warmup_covering_whole_trace_is_single_slice(self):
+        # The single-slice edge case: a warm-up as long as (or longer than)
+        # the trace would leave nothing to measure, so the run is measured
+        # end to end instead.
+        from repro.sim.runner import split_warmup
+
+        trace = spec2017("gcc", length=1_000)
+        for warmup in (1_000, 5_000):
+            warm, rest = split_warmup(trace, warmup)
+            assert warm is None
+            assert rest is trace
+
+    def test_negative_warmup_is_single_slice(self):
+        from repro.sim.runner import split_warmup
+
+        trace = spec2017("gcc", length=500)
+        warm, rest = split_warmup(trace, -3)
+        assert warm is None
+        assert rest is trace
+
+    def test_single_slice_edge_identical_across_engines(self):
+        # warmup == len(trace) must behave identically on both engines
+        # (neither may "run the warm-up then measure nothing").
+        trace = spec2017("bwaves", length=2_000)
+        for engine in ("reference", "fast"):
+            result = simulate(trace, SystemConfig(engine=engine), warmup=2_000)
+            assert result.pipeline.committed_uops == 2_000
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SystemConfig(engine="turbo")
+
+    def test_with_engine_returns_modified_copy(self):
+        base = SystemConfig.skylake()
+        fast = base.with_engine("fast")
+        assert base.engine == "reference"
+        assert fast.engine == "fast"
+        assert fast.with_engine("reference") == base
+
+    def test_cache_key_is_engine_independent(self):
+        # Both engines compute the same result, so they must share
+        # results-cache and on-disk store entries.
+        base = SystemConfig.skylake(sb_entries=14)
+        assert base.cache_key() == base.with_engine("fast").cache_key()
+        assert base.cache_key() != base.with_sb(56).cache_key()
+
+    def test_pipeline_class_mapping(self):
+        from repro.cpu.pipeline import Pipeline
+        from repro.sim.fastpath import FastPipeline, pipeline_class
+
+        assert pipeline_class("reference") is Pipeline
+        assert pipeline_class("fast") is FastPipeline
+        with pytest.raises(ValueError):
+            pipeline_class("turbo")
+
+    def test_fast_engine_used_by_simulate(self):
+        trace = spec2017("exchange2", length=2_000)
+        ref = simulate(trace, SystemConfig.skylake(sb_entries=14))
+        fast = simulate(
+            trace, SystemConfig.skylake(sb_entries=14, engine="fast")
+        )
+        assert ref.cycles == fast.cycles
+        assert ref.pipeline == fast.pipeline
