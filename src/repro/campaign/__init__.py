@@ -32,8 +32,11 @@ from repro.campaign.store import (
     SCHEMA_VERSION,
     ResultCodecError,
     ResultStore,
+    decode_multicore_result,
     decode_result,
+    encode_multicore_result,
     encode_result,
+    multicore_result_key,
 )
 
 __all__ = [
@@ -49,11 +52,14 @@ __all__ = [
     "ResultStore",
     "SCHEMA_VERSION",
     "campaign_from_manifest",
+    "decode_multicore_result",
     "decode_result",
     "default_worker_count",
+    "encode_multicore_result",
     "encode_result",
     "execute_job",
     "load_manifest",
+    "multicore_result_key",
     "register_workload",
     "run_campaign",
     "run_job",

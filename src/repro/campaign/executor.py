@@ -17,6 +17,7 @@ down without waiting in that case.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -35,7 +36,7 @@ from repro.campaign.progress import (
     ProgressCallback,
 )
 from repro.campaign.store import ResultStore
-from repro.sim.runner import ResultsCache, simulate
+from repro.sim.runner import ResultsCache, simulate, simulate_multicore
 from repro.stats.result import SimResult
 
 #: Exceptions meaning "no process pool on this platform" rather than "this
@@ -53,13 +54,21 @@ def job_trace_path(trace_dir: str, job: Job) -> str:
     return os.path.join(trace_dir, f"{job.key}.trace.jsonl")
 
 
-def run_job(job: Job, trace_dir: str | None = None) -> SimResult:
+def run_job(job: Job, trace_dir: str | None = None):
     """Simulate one job in-process (no cache tiers).
+
+    Single-core jobs return a :class:`SimResult`; multicore jobs
+    (``job.threads`` > 0) return a
+    :class:`~repro.multicore.system.MulticoreResult` with the live
+    ``pipelines`` stripped — those are process-local simulator handles,
+    useless (and unpicklable) once the run crosses the pool boundary.
 
     With ``trace_dir`` set, the run is traced and its full event stream is
     written to :func:`job_trace_path` as JSONL — the campaign layer's
     per-job capture.
     """
+    if job.threads:
+        return _run_multicore_job(job, trace_dir)
     if trace_dir is None:
         return simulate(job.build_trace(), job.config, warmup=job.warmup)
     from repro.trace import JsonlSink, Tracer
@@ -74,7 +83,24 @@ def run_job(job: Job, trace_dir: str | None = None) -> SimResult:
         tracer.close()
 
 
-def _simulate_job(job: Job, trace_dir: str | None = None) -> tuple[SimResult, float]:
+def _run_multicore_job(job: Job, trace_dir: str | None = None):
+    """One multicore job: N-thread traces through one coherent system."""
+    traces = job.build_traces()
+    if trace_dir is None:
+        result = simulate_multicore(traces, job.config)
+        return dataclasses.replace(result, pipelines=[])
+    from repro.trace import JsonlSink, Tracer
+
+    os.makedirs(trace_dir, exist_ok=True)
+    tracer = Tracer([JsonlSink(job_trace_path(trace_dir, job))])
+    try:
+        result = simulate_multicore(traces, job.config, tracer=tracer)
+        return dataclasses.replace(result, pipelines=[])
+    finally:
+        tracer.close()
+
+
+def _simulate_job(job: Job, trace_dir: str | None = None):
     """Pool worker: run one job and time it (module-level: picklable)."""
     started = time.perf_counter()
     result = run_job(job, trace_dir)

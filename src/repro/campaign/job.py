@@ -19,14 +19,19 @@ from repro.config.system import (
     StorePrefetchPolicy,
     SystemConfig,
 )
+from repro.campaign.store import multicore_result_key
 from repro.isa.trace import Trace
 from repro.sim.runner import result_key
-from repro.workloads import spec2017
+from repro.workloads import parsec, spec2017
 
 #: Workload factories jobs may reference by name.  Factories must be
 #: deterministic functions of ``(name, length=..., seed=...) -> Trace`` so a
-#: job's content key fully identifies its result.
-_FACTORIES: dict[str, Callable[..., Trace]] = {"spec2017": spec2017}
+#: job's content key fully identifies its result.  Multicore factories
+#: (``parsec``) additionally take ``threads=`` and return a list of traces.
+_FACTORIES: dict[str, Callable[..., Trace]] = {
+    "spec2017": spec2017,
+    "parsec": parsec,
+}
 
 
 def register_workload(kind: str, factory: Callable[..., Trace]) -> None:
@@ -46,7 +51,14 @@ def workload_factory(kind: str) -> Callable[..., Trace]:
 
 @dataclass(frozen=True)
 class Job:
-    """One simulation cell of a campaign."""
+    """One simulation cell of a campaign.
+
+    ``threads`` selects between the two run shapes: 0 (the default) is a
+    single-core run of one trace; N > 0 is one coherent multicore run of an
+    N-thread workload, whose result is a
+    :class:`~repro.multicore.system.MulticoreResult`.  Multicore runs have
+    no warm-up phase, so ``warmup`` must stay 0 for them.
+    """
 
     workload: str
     length: int
@@ -54,23 +66,43 @@ class Job:
     seed: int = 1
     warmup: int = 0
     workload_kind: str = "spec2017"
+    threads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads and self.warmup:
+            raise ValueError("multicore jobs do not support warm-up")
 
     @property
     def key(self) -> str:
         """Deterministic content key (shared with :class:`ResultsCache`)."""
+        if self.threads:
+            return multicore_result_key(
+                self.workload, self.threads, self.length, self.seed, self.config
+            )
         return result_key(
             self.workload, self.length, self.seed, self.config, self.warmup
         )
 
     def build_trace(self) -> Trace:
-        """Generate this job's workload trace."""
+        """Generate this (single-core) job's workload trace."""
         factory = workload_factory(self.workload_kind)
         return factory(self.workload, length=self.length, seed=self.seed)
 
+    def build_traces(self) -> list[Trace]:
+        """Generate this multicore job's per-thread traces."""
+        factory = workload_factory(self.workload_kind)
+        return factory(
+            self.workload, threads=self.threads,
+            length=self.length, seed=self.seed,
+        )
+
     def describe(self) -> str:
         """Short human-readable label for progress output."""
+        workload = (
+            f"{self.workload}x{self.threads}" if self.threads else self.workload
+        )
         return (
-            f"{self.workload}/{self.config.store_prefetch.value}"
+            f"{workload}/{self.config.store_prefetch.value}"
             f"/SB{self.config.core.store_buffer_per_thread}"
             f"/{self.config.cache_prefetcher.value}"
         )
@@ -117,6 +149,7 @@ class Campaign:
         workload_kind: str = "spec2017",
         name: str = "campaign",
         engine: str | None = None,
+        threads: int = 0,
     ) -> "Campaign":
         """Expand an apps × policies × SB-sizes × prefetchers cross product.
 
@@ -125,10 +158,15 @@ class Campaign:
         ``engine`` selects the execution engine for every cell ("reference"
         or "fast"); it never changes results (see the differential harness)
         or job keys, so cached cells stay shared across engines.
+        ``threads`` > 0 makes every cell a multicore run of an N-thread
+        workload (pair it with a multicore ``workload_kind`` such as
+        "parsec"); ``config.num_cores`` follows it automatically.
         """
         base = base_config or SystemConfig()
         if engine is not None:
             base = base.with_engine(engine)
+        if threads:
+            base = replace(base, num_cores=threads)
         jobs: list[Job] = []
         seen: set[str] = set()
         for app in apps:
@@ -146,6 +184,7 @@ class Campaign:
                             seed=seed,
                             warmup=warmup,
                             workload_kind=workload_kind,
+                            threads=threads,
                         )
                         if job.key not in seen:
                             seen.add(job.key)

@@ -14,8 +14,10 @@ Example::
     }
 
 Only ``apps`` is required; everything else falls back to the
-:meth:`Campaign.matrix` defaults.  Unknown keys are rejected so typos
-(``sb_size``) fail loudly instead of silently running the default.
+:meth:`Campaign.matrix` defaults.  A multicore manifest adds
+``"workload_kind": "parsec"`` and ``"threads": 4`` to make every cell one
+coherent N-core run.  Unknown keys are rejected so typos (``sb_size``)
+fail loudly instead of silently running the default.
 """
 
 from __future__ import annotations
@@ -26,7 +28,7 @@ from repro.campaign.job import Campaign
 
 _REQUIRED = {"apps"}
 _OPTIONAL = {"name", "policies", "sb_sizes", "prefetchers", "length", "seed",
-             "warmup", "workload_kind", "engine"}
+             "warmup", "workload_kind", "engine", "threads"}
 
 
 class ManifestError(ValueError):

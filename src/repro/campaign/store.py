@@ -28,6 +28,7 @@ from repro.energy.model import EnergyBreakdown
 from repro.memory.cache import CacheStats
 from repro.memory.hierarchy import TrafficStats
 from repro.memory.mshr import MSHRStats
+from repro.multicore.system import MulticoreResult
 from repro.prefetch.stats import PrefetchOutcomes
 from repro.stats.counters import PipelineStats, StallBreakdown
 from repro.stats.result import SimResult
@@ -35,11 +36,15 @@ from repro.stats.topdown import TopDownMetrics
 
 SCHEMA_VERSION = 1
 
+#: Result roots the store accepts (single-core and multicore runs).
+_RESULT_ROOTS = (SimResult, MulticoreResult)
+
 #: Dataclasses the codec may embed; looked up by class name on decode.
 _TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (
         SimResult,
+        MulticoreResult,
         PipelineStats,
         StallBreakdown,
         TopDownMetrics,
@@ -53,6 +58,21 @@ _TYPES: dict[str, type] = {
         EnergyBreakdown,
     )
 }
+
+
+def multicore_result_key(
+    name: str, threads: int, length: int, seed: int, config
+) -> str:
+    """Canonical content key of one multicore run.
+
+    The multicore analogue of :func:`repro.sim.runner.result_key`: PARSEC
+    traces are deterministic functions of (name, threads, per-thread length,
+    seed), so together with ``config.cache_key()`` the string identifies the
+    run completely.  Multicore runs have no warm-up phase, hence no ``w``
+    component; the ``T`` component keeps multicore keys disjoint from
+    single-core ones.
+    """
+    return f"{name}-T{threads}-L{length}-s{seed}-{config.cache_key()}"
 
 
 class ResultCodecError(ValueError):
@@ -109,6 +129,24 @@ def decode_result(payload: dict) -> SimResult:
     return result
 
 
+def encode_multicore_result(result: MulticoreResult) -> dict:
+    """Encode a :class:`MulticoreResult` (per-core stats tree).
+
+    The ``pipelines`` field holds the run's live simulator objects — they
+    are process-local handles, not results, so the encoded form drops them;
+    a decoded result answers every statistics query but cannot be re-run.
+    """
+    return _encode(dataclasses.replace(result, pipelines=[]))
+
+
+def decode_multicore_result(payload: dict) -> MulticoreResult:
+    """Inverse of :func:`encode_multicore_result` (``pipelines`` stay empty)."""
+    result = _decode(payload)
+    if not isinstance(result, MulticoreResult):
+        raise ResultCodecError("payload did not decode to a MulticoreResult")
+    return result
+
+
 def _safe_name(key: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]", "_", key)
 
@@ -127,14 +165,19 @@ class ResultStore:
         """Absolute path of the file backing ``key``."""
         return os.path.join(self.root, _safe_name(key) + ".json")
 
-    def save(self, key: str, result: SimResult) -> str:
+    def save(self, key: str, result: "SimResult | MulticoreResult") -> str:
         """Atomically persist one result; returns the file path."""
         os.makedirs(self.root, exist_ok=True)
         path = self.path_for(key)
+        encoded = (
+            encode_multicore_result(result)
+            if isinstance(result, MulticoreResult)
+            else encode_result(result)
+        )
         payload = {
             "schema": self.schema_version,
             "key": key,
-            "result": encode_result(result),
+            "result": encoded,
         }
         fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
@@ -148,7 +191,7 @@ class ResultStore:
         self.saves += 1
         return path
 
-    def load(self, key: str) -> SimResult | None:
+    def load(self, key: str) -> "SimResult | MulticoreResult | None":
         """Fetch one result; any problem whatsoever reads as a miss."""
         path = self.path_for(key)
         try:
@@ -158,7 +201,9 @@ class ResultStore:
                 raise ResultCodecError(
                     f"schema {payload.get('schema')!r} != {self.schema_version}"
                 )
-            result = decode_result(payload["result"])
+            result = _decode(payload["result"])
+            if not isinstance(result, _RESULT_ROOTS):
+                raise ResultCodecError("payload did not decode to a result")
         except FileNotFoundError:
             return None
         except (OSError, ValueError, KeyError, TypeError):

@@ -5,6 +5,7 @@ Commands
 
 ``run``        simulate one workload under one configuration
 ``compare``    run all store-prefetch policies on one workload, side by side
+``multicore``  simulate one PARSEC workload across N coherent cores
 ``campaign``   run a workload × policy × SB × prefetcher matrix in parallel
 ``workloads``  list the modelled SPEC/PARSEC applications
 ``report``     compile benchmarks/results/*.json into a markdown report
@@ -16,7 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import SystemConfig, simulate, spec2017
+from repro import SystemConfig, parsec, simulate, simulate_multicore, spec2017
 from repro.analysis.report import compile_report
 from repro.analysis.tables import ascii_bar_chart, format_table
 from repro.config.system import SIM_ENGINES, StorePrefetchPolicy
@@ -159,15 +160,45 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_multicore(args) -> int:
+    config = SystemConfig.skylake(
+        sb_entries=args.sb, store_prefetch=args.policy,
+        cache_prefetcher=args.prefetcher, engine=args.engine,
+        num_cores=args.threads,
+    )
+    traces = parsec(args.app, threads=args.threads, length=args.length,
+                    seed=args.seed)
+    result = simulate_multicore(traces, config)
+    rows = []
+    for core, stats in enumerate(result.per_core):
+        cycles = stats.cycles or 1
+        rows.append((
+            core,
+            stats.cycles,
+            stats.committed_uops,
+            round(stats.committed_uops / cycles, 3),
+            f"{stats.sb_stall_cycles / cycles:.1%}",
+        ))
+    print(f"workload: {args.app} × {args.threads} threads "
+          f"({args.length} µops each), policy {args.policy}, "
+          f"engine {args.engine}\n")
+    print(format_table(("core", "cycles", "committed", "IPC", "SB-stall"), rows))
+    print(f"\nsystem: {result.cycles} cycles, "
+          f"IPC {result.system_ipc:.3f}, "
+          f"mean SB-stall {result.sb_stall_ratio:.1%}")
+    return 0
+
+
 def _split_csv(text: str) -> list[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
-def _campaign_apps(text: str) -> list[str]:
+def _campaign_apps(text: str, threads: int = 0) -> list[str]:
+    names = parsec_names if threads else spec2017_names
     if text == "all":
-        return spec2017_names()
+        return names()
     if text == "sb-bound":
-        return spec2017_names(True)
+        return names(True)
     return _split_csv(text)
 
 
@@ -196,7 +227,7 @@ def _cmd_campaign(args) -> int:
         )
         try:
             campaign = Campaign.matrix(
-                apps=_campaign_apps(args.apps),
+                apps=_campaign_apps(args.apps, args.threads),
                 policies=policies,
                 sb_sizes=[int(size) for size in _split_csv(args.sb_sizes)],
                 prefetchers=_split_csv(args.prefetchers),
@@ -204,6 +235,8 @@ def _cmd_campaign(args) -> int:
                 seed=args.seed,
                 warmup=args.warmup,
                 engine=args.engine,
+                threads=args.threads,
+                workload_kind="parsec" if args.threads else "spec2017",
             )
         except ValueError as exc:
             print(f"campaign: bad flag value: {exc}", file=sys.stderr)
@@ -224,19 +257,23 @@ def _cmd_campaign(args) -> int:
     )
     rows = []
     for job in campaign:
+        label = f"{job.workload}x{job.threads}" if job.threads else job.workload
         result = report.get(job)
         if result is None:
-            rows.append((job.workload, job.config.store_prefetch.value,
+            rows.append((label, job.config.store_prefetch.value,
                          job.config.core.store_buffer_per_thread,
                          job.config.cache_prefetcher.value, "FAILED", "-", "-"))
             continue
+        # Multicore cells return a MulticoreResult (system IPC, no per-run
+        # workload metadata); job fields describe both shapes uniformly.
+        ipc = result.ipc if hasattr(result, "ipc") else result.system_ipc
         rows.append((
-            result.workload,
-            result.policy,
-            result.sb_entries,
+            label,
+            job.config.store_prefetch.value,
+            job.config.core.store_buffer_per_thread,
             job.config.cache_prefetcher.value,
             result.cycles,
-            round(result.ipc, 3),
+            round(ipc, 3),
             f"{result.sb_stall_ratio:.1%}",
         ))
     print()
@@ -335,6 +372,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="execution engine for every policy run")
     compare.set_defaults(func=_cmd_compare)
 
+    multicore = sub.add_parser(
+        "multicore",
+        help="simulate one PARSEC-like workload across N coherent cores",
+    )
+    multicore.add_argument("app", help="PARSEC-like application name")
+    multicore.add_argument("--threads", type=int, default=4,
+                           help="number of cores (one thread each)")
+    multicore.add_argument("--length", type=int, default=20_000,
+                           help="per-thread trace length in micro-ops")
+    multicore.add_argument("--seed", type=int, default=1)
+    multicore.add_argument("--policy", default="at-commit",
+                           choices=[p.value for p in StorePrefetchPolicy])
+    multicore.add_argument("--sb", type=int, default=56,
+                           help="store-buffer entries per core")
+    multicore.add_argument("--prefetcher", default="stream",
+                           choices=("none", "stream", "aggressive", "adaptive"))
+    multicore.add_argument("--engine", default="reference", choices=SIM_ENGINES,
+                           help="execution engine; 'fast' is the event-heap "
+                                "scheduler with cross-core cycle skipping, "
+                                "proven bit-identical by the multicore "
+                                "differential matrix (docs/FASTPATH.md)")
+    multicore.set_defaults(func=_cmd_multicore)
+
     campaign = sub.add_parser(
         "campaign",
         help="run a configuration matrix in parallel with a persistent cache",
@@ -354,6 +414,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=1)
     campaign.add_argument("--warmup", type=int, default=0,
                           help="warm-up micro-ops excluded from statistics")
+    campaign.add_argument("--threads", type=int, default=0,
+                          help="make every cell one N-core multicore run of a "
+                               "PARSEC workload ('all'/'sb-bound' app sets "
+                               "then resolve to PARSEC names)")
     campaign.add_argument("--engine", default="reference", choices=SIM_ENGINES,
                           help="execution engine for every cell (results and "
                                "cache keys are engine-independent)")

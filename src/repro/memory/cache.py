@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 
 from repro.config.cache import CacheConfig
 from repro.memory.coherence import MESIState
 from repro.memory.replacement import build_replacement_policy
+
+_BY_META = itemgetter(1)
 
 
 @dataclass
@@ -54,11 +57,18 @@ class SetAssociativeCache:
         self.config = config
         self.policy = build_replacement_policy(config.replacement)
         # LRU (the default everywhere) updates one integer per touch; inline
-        # that instead of paying a method call on every lookup/insert.
+        # that instead of paying a method call on every lookup/insert.  Its
+        # last-use cycles live in a per-set int dict kept in insertion
+        # lockstep with the line dict, so the victim scan runs with a
+        # C-level key function (min ties resolve to the first-inserted
+        # block in both dicts — identical iteration order by construction).
         self._lru = self.policy.name == "lru"
         self._set_mask = config.num_sets - 1
         self._assoc = config.associativity
         self._sets: list[dict[int, _Line]] = [{} for _ in range(config.num_sets)]
+        self._metas: list[dict[int, int]] = (
+            [{} for _ in range(config.num_sets)] if self._lru else []
+        )
         self.stats = CacheStats()
 
     def _set_for(self, block: int) -> dict[int, _Line]:
@@ -69,16 +79,38 @@ class SetAssociativeCache:
         stats = self.stats
         if count_tag:
             stats.tag_accesses += 1
-        line = self._sets[block & self._set_mask].get(block)
+        index = block & self._set_mask
+        line = self._sets[index].get(block)
         if line is None:
             stats.misses += 1
             return None
         if self._lru:
-            line.meta = cycle
+            self._metas[index][block] = cycle
         else:
             self.policy.on_access(line, cycle)
         stats.hits += 1
         return line.state
+
+    def lookup_line(self, block: int, cycle: int) -> _Line | None:
+        """Like :meth:`lookup` but returns the line object itself.
+
+        The hierarchy's hit paths read ``state`` *and* ``prefetched`` off
+        the same line; returning it saves re-probing the set dict for each
+        attribute.  Counters and recency update exactly as in ``lookup``.
+        """
+        stats = self.stats
+        stats.tag_accesses += 1
+        index = block & self._set_mask
+        line = self._sets[index].get(block)
+        if line is None:
+            stats.misses += 1
+            return None
+        if self._lru:
+            self._metas[index][block] = cycle
+        else:
+            self.policy.on_access(line, cycle)
+        stats.hits += 1
+        return line
 
     def peek(self, block: int) -> MESIState | None:
         """State of a block without touching recency or counters."""
@@ -107,12 +139,14 @@ class SetAssociativeCache:
         The victim is reported as ``(block, state)`` so the hierarchy can
         write back dirty data and update the directory.
         """
-        cache_set = self._sets[block & self._set_mask]
+        index = block & self._set_mask
+        cache_set = self._sets[index]
+        lru = self._lru
         existing = cache_set.get(block)
         if existing is not None:
             existing.state = state
-            if self._lru:
-                existing.meta = cycle
+            if lru:
+                self._metas[index][block] = cycle
             else:
                 self.policy.on_access(existing, cycle)
             if prefetched:
@@ -121,14 +155,21 @@ class SetAssociativeCache:
         stats = self.stats
         victim: tuple[int, MESIState] | None = None
         if len(cache_set) >= self._assoc:
-            victim_block = self.policy.victim(cache_set, cycle)
+            if lru:
+                metas = self._metas[index]
+                victim_block = min(metas.items(), key=_BY_META)[0]
+                del metas[victim_block]
+            else:
+                victim_block = self.policy.victim(cache_set, cycle)
             victim_line = cache_set.pop(victim_block)
             victim = (victim_block, victim_line.state)
             stats.evictions += 1
             if victim_line.state == MESIState.M:
                 stats.dirty_evictions += 1
-        line = _Line(state=state, meta=cycle if self._lru else 0, prefetched=prefetched)
-        if not self._lru:
+        line = _Line(state, 0, prefetched)
+        if lru:
+            self._metas[index][block] = cycle
+        else:
             self.policy.on_insert(line, cycle)
         cache_set[block] = line
         stats.insertions += 1
@@ -145,9 +186,12 @@ class SetAssociativeCache:
 
     def invalidate(self, block: int) -> MESIState | None:
         """Drop a block; returns its prior state or ``None`` if absent."""
-        line = self._set_for(block).pop(block, None)
+        index = block & self._set_mask
+        line = self._sets[index].pop(block, None)
         if line is None:
             return None
+        if self._lru:
+            del self._metas[index][block]
         self.stats.invalidations += 1
         return line.state
 

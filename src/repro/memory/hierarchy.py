@@ -221,7 +221,7 @@ class MemoryHierarchy:
         if in_flight is not None and (not want_write or block in self._inflight_write):
             if not prefetch:
                 in_flight = l1_mshr.promote(block, cycle) or in_flight
-            return AccessResult(completion=in_flight, level="L2", coalesced=True)
+            return AccessResult(in_flight, "L2", True)
         if want_write:
             self._inflight_write.add(block)
             if len(self._inflight_write) > 4 * l1_mshr.capacity:
@@ -252,7 +252,7 @@ class MemoryHierarchy:
             state = MESIState.M
         self._evict_handling(self.l1d.insert(block, state, cycle, prefetched=prefetch))
         self._evict_handling(self.l2.insert(block, state, cycle, prefetched=prefetch))
-        return AccessResult(completion=completion, level=level)
+        return AccessResult(completion, level)
 
     def _run_prefetcher(self, block: int, hit: bool, is_store: bool, cycle: int) -> None:
         if self.prefetcher is None:
@@ -273,26 +273,37 @@ class MemoryHierarchy:
             traffic.demand_loads += 1
             if self.tlb is not None:
                 cycle += self.tlb.translate(block // self._blocks_per_page, cycle)
-        state = self.l1d.lookup(block, cycle)
-        if state is not None:
-            in_flight = (
-                l1_mshr.in_flight(block, cycle)
-                if wrong_path
-                else l1_mshr.promote(block, cycle)
-            )
+        line = self.l1d.lookup_line(block, cycle)
+        if line is not None:
+            # Inlined MSHR fast check: most hits have nothing in flight for
+            # the block, so probe the entry table once before paying the
+            # ``promote`` call (which re-probes and handles the rare
+            # queued-prefetch upgrade).
+            entry = l1_mshr._by_block.get(block)
+            if entry is not None and entry.completion > cycle:
+                in_flight = (
+                    entry.completion
+                    if wrong_path
+                    else l1_mshr.promote(block, cycle)
+                )
+            else:
+                in_flight = None
             if in_flight is not None:
                 # The line was installed at request time but the fill is
                 # still travelling: the load waits for the data.
-                result = AccessResult(completion=in_flight, level="L2", coalesced=True)
+                result = AccessResult(in_flight, "L2", True)
             else:
-                if self.l1d.was_prefetched(block):
-                    self.l1d.clear_prefetched(block)
-                    if self.prefetcher is not None:
-                        self.prefetcher.on_useful_prefetch()
-                self._run_prefetcher(block, True, False, cycle)
-                result = AccessResult(
-                    completion=cycle + self._l1_latency, level="L1"
-                )
+                prefetcher = self.prefetcher
+                if line.prefetched:
+                    line.prefetched = False
+                    if prefetcher is not None:
+                        prefetcher.on_useful_prefetch()
+                if prefetcher is not None:
+                    proposals = prefetcher.on_demand(block, True, False, cycle)
+                    if proposals:
+                        for target, want_write in proposals:
+                            self.prefetch_block(target, cycle, want_write=want_write)
+                result = AccessResult(cycle + self._l1_latency, "L1")
         else:
             result = self._miss_path(block, cycle, want_write=False, prefetch=False)
             self._run_prefetcher(block, False, False, cycle)
@@ -319,19 +330,24 @@ class MemoryHierarchy:
             self.traffic.demand_stores += 1
             if self.tlb is not None:
                 cycle += self.tlb.translate(block // self._blocks_per_page, cycle)
-        state = self.l1d.lookup(block, cycle)
+        line = self.l1d.lookup_line(block, cycle)
+        state = None if line is None else line.state
         if state in WRITABLE_STATES:
+            prefetcher = self.prefetcher
             if prefetch:
                 self.traffic.discarded_prefetch_requests += 1
-            elif self.l1d.was_prefetched(block):
-                self.l1d.clear_prefetched(block)
-                if self.prefetcher is not None:
-                    self.prefetcher.on_useful_prefetch()
+            elif line.prefetched:
+                line.prefetched = False
+                if prefetcher is not None:
+                    prefetcher.on_useful_prefetch()
             if state == MESIState.E:
-                self.l1d.set_state(block, MESIState.M)
-            if not prefetch:
-                self._run_prefetcher(block, True, True, cycle)
-            result = AccessResult(completion=cycle + self._l1_latency, level="L1")
+                line.state = MESIState.M
+            if not prefetch and prefetcher is not None:
+                proposals = prefetcher.on_demand(block, True, True, cycle)
+                if proposals:
+                    for target, want_write in proposals:
+                        self.prefetch_block(target, cycle, want_write=want_write)
+            result = AccessResult(cycle + self._l1_latency, "L1")
         elif state == MESIState.S:
             # Upgrade: invalidate remote sharers through the directory.
             extra, _ = self.uncore.fetch(
@@ -341,7 +357,7 @@ class MemoryHierarchy:
             if prefetch:
                 self.traffic.prefetch_miss_requests += 1
             completion = self.l1_mshr.allocate(block, cycle, extra, prefetch=prefetch)
-            self.l1d.set_state(block, MESIState.M)
+            line.state = MESIState.M
             if self.l2.peek(block) is not None:
                 self.l2.set_state(block, MESIState.M)
             if not prefetch:
@@ -393,16 +409,16 @@ class MemoryHierarchy:
         pipelined L1 store path); this just accounts the L1 write and keeps
         the MESI state and the stream prefetcher informed.
         """
-        state = self.l1d.lookup(block, cycle)
-        if state not in WRITABLE_STATES:
+        line = self.l1d.lookup_line(block, cycle)
+        if line is None or line.state not in WRITABLE_STATES:
             raise RuntimeError(
                 f"perform_store on block {block:#x} without write permission"
             )
         self.traffic.demand_stores += 1
-        if state == MESIState.E:
-            self.l1d.set_state(block, MESIState.M)
-        if self.l1d.was_prefetched(block):
-            self.l1d.clear_prefetched(block)
+        if line.state == MESIState.E:
+            line.state = MESIState.M
+        if line.prefetched:
+            line.prefetched = False
             if self.prefetcher is not None:
                 self.prefetcher.on_useful_prefetch()
         tracer = self.tracer

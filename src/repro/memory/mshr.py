@@ -124,15 +124,15 @@ class MSHRFile:
         once an earlier entry retires — demand requests only wait on earlier
         demand entries, prefetches wait on everything.
         """
-        existing = self.in_flight(block, cycle)
-        if existing is not None:
+        entry = self._by_block.get(block)
+        if entry is not None and entry.completion > cycle:
             self.stats.coalesced += 1
             tracer = self.tracer
             if tracer is not None:
                 tracer.emit(cycle, "mshr.coalesce", core=self.core, block=block)
             if not prefetch:
-                return self.promote(block, cycle) or existing
-            return existing
+                return self.promote(block, cycle) or entry.completion
+            return entry.completion
         self._expire(cycle)
         start = cycle
         if prefetch:

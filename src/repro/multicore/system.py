@@ -3,8 +3,11 @@
 Each core has its own pipeline, private L1D/L2 and store-prefetch engine;
 the cores share one :class:`SharedUncore`, so SPB bursts on one core can
 invalidate lines another core holds — the coherence interaction §VI-F checks
-for.  Cores advance in lockstep, one cycle at a time; when every core is
-blocked the system jumps to the earliest event across all of them.
+for.  Under the reference engine cores advance in lockstep, one cycle at a
+time, jumping only when every core is blocked at once; under
+``engine="fast"`` the event-heap scheduler in
+:mod:`repro.multicore.scheduler` skips each core's quiescent spans
+individually while reproducing the lockstep bit for bit.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from repro.core.policies import build_store_prefetch_engine
 from repro.cpu.pipeline import Pipeline
 from repro.isa.trace import Trace
 from repro.memory.hierarchy import MemoryHierarchy, SharedUncore
+from repro.multicore.scheduler import run_fast
 from repro.sim.fastpath import pipeline_class
 from repro.prefetch import build_prefetcher
 from repro.stats.counters import PipelineStats
@@ -82,30 +86,51 @@ class MulticoreSystem:
             )
 
     def run(self, max_cycles: int = 500_000_000) -> MulticoreResult:
-        """Run all cores to completion in lockstep."""
-        pending = list(self.pipelines)
-        cycle = 0
-        while pending:
-            progress = False
-            for pipeline in pending:
-                if pipeline.step():
-                    progress = True
-            pending = [p for p in pending if not p.done()]
-            cycle += 1
-            if not progress and pending:
-                # Jump every blocked core forward to the earliest event.
-                target = min(p._next_event() for p in pending)
-                extra = target - pending[0].cycle
-                if extra > 0:
-                    for pipeline in pending:
-                        pipeline.stats.cycles += extra
-                        pipeline.cycle = target
-                    cycle += extra
-            if cycle > max_cycles:
-                raise RuntimeError(f"multicore run exceeded {max_cycles} cycles")
+        """Run all cores to completion.
+
+        Under ``engine="fast"`` the event-heap scheduler
+        (:mod:`repro.multicore.scheduler`) advances each core independently
+        with per-core cycle skipping; otherwise the reference lockstep loop
+        runs.  Both produce bit-identical per-core statistics and event
+        streams (enforced by the multicore differential matrix).
+        """
+        if self.config.engine == "fast":
+            run_fast(self, max_cycles)
+        else:
+            self._run_lockstep(max_cycles)
         total_cycles = max(p.stats.cycles for p in self.pipelines)
         return MulticoreResult(
             cycles=total_cycles,
             per_core=[p.stats for p in self.pipelines],
             pipelines=self.pipelines,
         )
+
+    def _run_lockstep(self, max_cycles: int) -> None:
+        """Advance all cores one cycle at a time (the oracle loop)."""
+        pending = [(p, p.step, p.done) for p in self.pipelines]
+        cycle = 0
+        while pending:
+            progress = False
+            finished = False
+            for entry in pending:
+                if entry[1]():
+                    progress = True
+                    if entry[2]():
+                        finished = True
+            # A core can only reach done() on a cycle it progressed —
+            # except an initially-done (empty-trace) core, which steps
+            # exactly once; the first-cycle sweep covers it.
+            if finished or cycle == 0:
+                pending = [e for e in pending if not e[2]()]
+            cycle += 1
+            if not progress and pending:
+                # Jump every blocked core forward to the earliest event.
+                target = min(e[0]._next_event() for e in pending)
+                extra = target - pending[0][0].cycle
+                if extra > 0:
+                    for entry in pending:
+                        entry[0].stats.cycles += extra
+                        entry[0].cycle = target
+                    cycle += extra
+            if cycle > max_cycles:
+                raise RuntimeError(f"multicore run exceeded {max_cycles} cycles")

@@ -50,15 +50,22 @@ class StreamPrefetcher(PrefetcherBase):
 
     def _entry_for(self, block: int, cycle: int) -> _StreamEntry:
         region = block >> 6
-        entry = self._table.get(region)
+        table = self._table
+        entry = table.get(region)
         if entry is None:
-            if len(self._table) >= self.table_entries:
-                # Evict the least recently used stream.
+            if len(table) >= self.table_entries:
+                # Evict the least recently used stream, recycling its
+                # entry object (a fresh stream starts from scratch either
+                # way, and irregular workloads evict on most accesses).
                 oldest = min(self._last.items(), key=_BY_CYCLE)[0]
-                del self._table[oldest]
+                entry = table.pop(oldest)
                 del self._last[oldest]
-            entry = _StreamEntry(block)
-            self._table[region] = entry
+                entry.last_block = block
+                entry.stride = 0
+                entry.confirmed = False
+            else:
+                entry = _StreamEntry(block)
+            table[region] = entry
         self._last[region] = cycle
         return entry
 

@@ -3,11 +3,16 @@
 from repro.sim.diffcheck import (
     DiffCase,
     DiffReport,
+    MulticoreDiffCase,
     default_matrix,
     diff_trace,
+    multicore_matrix,
     run_case,
     run_matrix,
+    run_multicore_case,
+    run_multicore_matrix,
     shrink_case,
+    shrink_multicore_case,
 )
 from repro.sim.fastpath import ENGINE_CLASSES, FastPipeline, pipeline_class
 from repro.sim.runner import (
@@ -35,11 +40,16 @@ __all__ = [
     "pipeline_class",
     "DiffCase",
     "DiffReport",
+    "MulticoreDiffCase",
     "default_matrix",
     "diff_trace",
+    "multicore_matrix",
     "run_case",
     "run_matrix",
+    "run_multicore_case",
+    "run_multicore_matrix",
     "shrink_case",
+    "shrink_multicore_case",
     "policy_sweep",
     "sb_size_sweep",
     "normalized_performance",

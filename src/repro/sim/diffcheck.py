@@ -17,6 +17,20 @@ engines and compares
 ``tests/test_differential.py`` drives :func:`default_matrix` (tier-1
 workloads × all store-prefetch policies × warmup on/off) and a
 hypothesis-driven fuzzer through :func:`run_case`.
+
+The multicore half of the module proves the event-heap scheduler
+(:mod:`repro.multicore.scheduler`) against the lockstep oracle the same
+way: :func:`run_multicore_case` runs one PARSEC workload through both
+engines and compares the complete per-core statistics tree (pipeline, SB,
+private caches, MSHR, traffic, TLB, prefetchers, store-prefetch engine and
+SPB detector), the shared-uncore tree (L3, L3 MSHR, DRAM, directory) and
+the per-core event streams.  Whole-stream ordering is deliberately *not*
+compared: the scheduler visits cores in event-heap order, so events from
+different cores interleave differently in the tracer even though every
+core's own stream — the architecturally meaningful order — is identical.
+``tests/test_differential_multicore.py`` drives :func:`multicore_matrix`,
+which includes SPB burst cells on a shared-heap workload so cross-core
+invalidation traffic is part of the proof.
 """
 
 from __future__ import annotations
@@ -26,9 +40,12 @@ from dataclasses import dataclass, fields, is_dataclass, replace
 from typing import Sequence
 
 from repro.config.system import StorePrefetchPolicy, SystemConfig
+from repro.core.policies import SpbPrefetch
 from repro.isa.trace import Trace
+from repro.multicore.system import MulticoreSystem
 from repro.sim.runner import simulate
 from repro.trace import CollectorSink, Tracer, events_digest, shadow_registry_for
+from repro.workloads.parsec import parsec
 from repro.workloads.spec import spec2017
 
 #: Matrix rows: (workload, trace length, warmup settings).  Lengths are
@@ -79,7 +96,7 @@ class DiffCase:
 class DiffReport:
     """Outcome of one differential run: the divergences, if any."""
 
-    case: DiffCase
+    case: "DiffCase | MulticoreDiffCase"
     problems: list[str]
 
     @property
@@ -299,5 +316,232 @@ def run_matrix(
     return [
         report
         for report in (run_case(case, shadow=shadow) for case in cases)
+        if not report.identical
+    ]
+
+
+# --------------------------------------------------------------------------
+# Multicore: event-heap scheduler vs lockstep oracle
+# --------------------------------------------------------------------------
+
+#: Multicore matrix rows: (workload, threads, per-thread length, policies).
+#: ``None`` means every store-prefetch policy.  Lengths follow each app's
+#: store onset (dedup and x264 emit their first store around µop ~6400, so
+#: shorter traces would leave the SB/drain/SPB paths unproven; canneal
+#: stores from the first µops; swaptions is compute-bound and storeless —
+#: the pure scheduler/compute cell, like exchange2 in the single-core
+#: matrix).  dedup's shared heap (1 MiB) is small enough that four threads
+#: collide on blocks, so its SPB cells drive cross-core invalidations
+#: through the directory — the coherence interaction the scheduler must not
+#: reorder.  The remaining rows spread engine coverage (policies, core
+#: counts, app mixes) without running the full cross product in CI.
+MULTICORE_CELLS = (
+    ("dedup", 4, 10_000, None),
+    ("canneal", 2, 4_000, ("at-commit", "spb")),
+    ("swaptions", 2, 3_000, ("none", "spb")),
+    ("x264", 4, 8_000, ("at-commit", "spb", "ideal")),
+)
+
+
+@dataclass(frozen=True)
+class MulticoreDiffCase:
+    """One multicore differential case: a PARSEC workload on N cores.
+
+    As with :class:`DiffCase`, the ``config``'s own ``engine`` field is
+    irrelevant — :func:`run_multicore_case` forces both engines.
+    """
+
+    workload: str
+    config: SystemConfig
+    threads: int
+    length: int = MATRIX_LENGTH
+    seed: int = 1
+    sim_seed: int = 7
+
+    def describe(self) -> str:
+        """Stable human-readable label (used as the pytest parametrize id)."""
+        return (
+            f"{self.workload}x{self.threads}-{self.config.store_prefetch.value}"
+            f"-sb{self.config.core.store_buffer_per_thread}"
+            f"-L{self.length}-s{self.seed}"
+        )
+
+
+def _multicore_snapshot(system: MulticoreSystem, result) -> dict:
+    """Every comparable counter of one finished multicore run, as one tree.
+
+    :class:`~repro.multicore.system.MulticoreResult` only aggregates
+    pipeline statistics; the differential proof wants everything, so this
+    walks the live pipelines and the shared uncore.  ``finalize()`` on the
+    prefetch trackers is safe here: the run is over, and both engines'
+    snapshots call it at the same point.
+    """
+    cores = []
+    for pipeline in result.pipelines:
+        hierarchy = pipeline.hierarchy
+        engine = pipeline.engine
+        core: dict[str, object] = {
+            "pipeline": pipeline.stats,
+            "sb": pipeline.sb.stats,
+            "l1d": hierarchy.l1d.stats,
+            "l2": hierarchy.l2.stats,
+            "l1_mshr": hierarchy.l1_mshr.stats,
+            "traffic": hierarchy.traffic,
+            "engine": engine.stats,
+            "prefetch_outcomes": engine.tracker.finalize(),
+        }
+        if hierarchy.tlb is not None:
+            core["tlb"] = hierarchy.tlb.stats
+        if hierarchy.prefetcher is not None:
+            core["prefetcher"] = hierarchy.prefetcher.stats
+        if isinstance(engine, SpbPrefetch):
+            core["detector"] = engine.detector.stats
+        cores.append(core)
+    uncore = system.uncore
+    return {
+        "cycles": result.cycles,
+        "cores": cores,
+        "uncore": {
+            "l3": uncore.l3.stats,
+            "l3_mshr": uncore.l3_mshr.stats,
+            "dram": uncore.dram.stats,
+            "directory": uncore.directory.stats,
+        },
+    }
+
+
+def _run_multicore_engine(
+    traces: Sequence[Trace], case: MulticoreDiffCase, engine: str
+) -> tuple[dict, list]:
+    """One engine's multicore run: (statistics snapshot, events)."""
+    config = case.config.with_engine(engine)
+    collector = CollectorSink()
+    system = MulticoreSystem(
+        config, list(traces), seed=case.sim_seed, tracer=Tracer([collector])
+    )
+    result = system.run()
+    return _multicore_snapshot(system, result), collector.events
+
+
+def compare_multicore_events(ref_events: Sequence, fast_events: Sequence) -> list[str]:
+    """Compare per-core event streams (global interleaving is unordered).
+
+    The event-heap scheduler visits cores in heap order, so the tracer sees
+    a different *global* interleaving than the lockstep loop even when every
+    core behaves identically.  Each core's own stream, however, must match
+    event for event — that is the architectural guarantee.
+    """
+    problems: list[str] = []
+
+    def by_core(events: Sequence) -> dict[int, list]:
+        split: dict[int, list] = {}
+        for event in events:
+            split.setdefault(event.core, []).append(event)
+        return split
+
+    ref_split = by_core(ref_events)
+    fast_split = by_core(fast_events)
+    for core in sorted(ref_split.keys() | fast_split.keys()):
+        for problem in compare_events(
+            ref_split.get(core, []), fast_split.get(core, [])
+        ):
+            problems.append(f"core {core}: {problem}")
+    return problems
+
+
+def run_multicore_case(case: MulticoreDiffCase) -> DiffReport:
+    """Run ``case`` on both engines and diff everything observable.
+
+    The per-thread traces are built once and fed to both engines; the diff
+    covers the full statistics tree (per-core and shared uncore) plus every
+    core's event stream.
+    """
+    traces = parsec(
+        case.workload, threads=case.threads, length=case.length, seed=case.seed
+    )
+    ref_snap, ref_events = _run_multicore_engine(traces, case, "reference")
+    fast_snap, fast_events = _run_multicore_engine(traces, case, "fast")
+    problems: list[str] = []
+    compare_values("multicore", ref_snap, fast_snap, problems)
+    problems += compare_multicore_events(ref_events, fast_events)
+    return DiffReport(case=case, problems=problems)
+
+
+def multicore_matrix(
+    cells: Sequence[tuple[str, int, int, Sequence[str] | None]] = MULTICORE_CELLS,
+    *,
+    sb_entries: int = 14,
+) -> list[MulticoreDiffCase]:
+    """The CI multicore differential matrix: workloads × cores × policies.
+
+    As in :func:`default_matrix`, SB size 14 maximises SB-full stalls so the
+    scheduler's cycle-skipping paths stay busy; the ideal policy runs with
+    an unbounded SB.  ``config.num_cores`` tracks the thread count so the
+    shared uncore is sized as a real run of that width would size it.
+    """
+    cases = []
+    for workload, threads, length, policies in cells:
+        chosen = (
+            list(StorePrefetchPolicy)
+            if policies is None
+            else [StorePrefetchPolicy(policy) for policy in policies]
+        )
+        for policy in chosen:
+            entries = 1024 if policy is StorePrefetchPolicy.IDEAL else sb_entries
+            config = SystemConfig.skylake(
+                sb_entries=entries, store_prefetch=policy, num_cores=threads
+            )
+            cases.append(
+                MulticoreDiffCase(
+                    workload=workload, config=config,
+                    threads=threads, length=length,
+                )
+            )
+    return cases
+
+
+def shrink_multicore_case(case: MulticoreDiffCase) -> MulticoreDiffCase:
+    """Greedy shrink of a diverging multicore case (cf. :func:`shrink_case`).
+
+    Tries halving the per-thread trace length (floor 64) and halving the
+    core count (floor 1, keeping ``config.num_cores`` in step) while the
+    divergence persists.  Returns ``case`` unchanged if it does not diverge.
+    """
+    if run_multicore_case(case).identical:
+        return case
+    current = case
+    changed = True
+    while changed:
+        changed = False
+        trials = []
+        shorter = max(64, current.length // 2)
+        if shorter < current.length:
+            trials.append(replace(current, length=shorter))
+        fewer = max(1, current.threads // 2)
+        if fewer < current.threads:
+            trials.append(
+                replace(
+                    current,
+                    threads=fewer,
+                    config=replace(current.config, num_cores=fewer),
+                )
+            )
+        for trial in trials:
+            if not run_multicore_case(trial).identical:
+                current = trial
+                changed = True
+                break
+    return current
+
+
+def run_multicore_matrix(
+    cases: Sequence[MulticoreDiffCase] | None = None,
+) -> list[DiffReport]:
+    """Run the multicore matrix; returns only the diverging reports."""
+    if cases is None:
+        cases = multicore_matrix()
+    return [
+        report
+        for report in (run_multicore_case(case) for case in cases)
         if not report.identical
     ]

@@ -145,6 +145,11 @@ class FastPipeline(Pipeline):
         on_store_committed = engine.on_store_committed
         on_store_performed = engine.on_store_performed
         mshr_outstanding = l1_mshr.outstanding
+        # The in-flight heaps are mutated in place and never rebound, so
+        # their truthiness gates the per-cycle ``outstanding`` call: with
+        # both empty there is nothing to expire and the count is zero.
+        mshr_demand = l1_mshr._demand
+        mshr_prefetch = l1_mshr._prefetch
 
         # ---- mutable per-cycle state in locals --------------------------
         cycle = self.cycle
@@ -430,7 +435,11 @@ class FastPipeline(Pipeline):
                     elif block_reason == "rob":
                         stall_rob += 1
                 l1d_pending = False
-                if committed == 0 and mshr_outstanding(cycle):
+                if (
+                    committed == 0
+                    and (mshr_demand or mshr_prefetch)
+                    and mshr_outstanding(cycle)
+                ):
                     exec_stall_acc += 1
                     l1d_pending = True
                 occ_integral_acc += sb_len

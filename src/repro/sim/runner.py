@@ -143,9 +143,21 @@ def simulate(
 
 
 def simulate_multicore(
-    traces: Sequence[Trace], config: SystemConfig, seed: int = 7, tracer=None
+    traces: Sequence[Trace],
+    config: SystemConfig,
+    seed: int = 7,
+    tracer=None,
+    engine: str | None = None,
 ) -> MulticoreResult:
-    """Run one per-core trace each on a coherent multi-core system."""
+    """Run one per-core trace each on a coherent multi-core system.
+
+    ``engine`` overrides ``config.engine`` for this run ("reference" or
+    "fast"); the choice never changes results — the multicore differential
+    matrix proves the event-heap scheduler bit-identical to the lockstep
+    oracle — only how quickly they arrive.
+    """
+    if engine is not None:
+        config = config.with_engine(engine)
     system = MulticoreSystem(config, list(traces), seed=seed, tracer=tracer)
     return system.run()
 
@@ -219,12 +231,13 @@ class ResultsCache:
         length: int,
         config: SystemConfig,
         seed: int = 1,
+        warmup: int = 0,
     ) -> SimResult:
-        key = result_key(name, length, seed, config)
+        key = result_key(name, length, seed, config, warmup)
         result = self.lookup(key)
         if result is None:
             trace = trace_factory(name, length=length, seed=seed)
-            result = simulate(trace, config)
+            result = simulate(trace, config, warmup=warmup)
             self.insert(key, result)
         return result
 

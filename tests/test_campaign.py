@@ -438,3 +438,106 @@ class TestCampaignEngine:
     def test_manifest_rejects_bad_engine(self):
         with pytest.raises(ManifestError):
             campaign_from_manifest({"apps": ["bwaves"], "engine": "turbo"})
+
+
+class TestMulticoreJobs:
+    """Multicore campaign cells: keys, codec, execution and the matrix."""
+
+    @staticmethod
+    def multicore_job(**kwargs) -> Job:
+        config = SystemConfig.skylake(sb_entries=14, num_cores=2)
+        defaults = dict(
+            workload="swaptions", length=1_000, config=config,
+            workload_kind="parsec", threads=2,
+        )
+        defaults.update(kwargs)
+        return Job(**defaults)
+
+    def test_key_matches_multicore_result_key(self):
+        from repro.campaign import multicore_result_key
+
+        job = self.multicore_job()
+        assert job.key == multicore_result_key(
+            "swaptions", 2, 1_000, 1, job.config
+        )
+
+    def test_multicore_keys_disjoint_from_single_core(self):
+        single = small_job()
+        multi = self.multicore_job(
+            workload=single.workload, length=single.length, config=single.config
+        )
+        assert single.key != multi.key
+
+    def test_key_distinguishes_threads(self):
+        assert self.multicore_job(threads=2).key != (
+            self.multicore_job(threads=4).key
+        )
+
+    def test_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            self.multicore_job(warmup=100)
+
+    def test_run_job_returns_multicore_result_without_pipelines(self):
+        from repro.multicore.system import MulticoreResult
+
+        result = run_job(self.multicore_job())
+        assert isinstance(result, MulticoreResult)
+        assert result.pipelines == []
+        assert len(result.per_core) == 2
+        assert result.committed_uops == 2_000
+
+    def test_codec_round_trip_bitexact(self):
+        from repro.campaign import (
+            decode_multicore_result,
+            encode_multicore_result,
+        )
+
+        result = run_job(self.multicore_job())
+        payload = json.loads(json.dumps(encode_multicore_result(result)))
+        assert decode_multicore_result(payload) == result
+
+    def test_store_round_trip(self, tmp_path):
+        job = self.multicore_job()
+        result = run_job(job)
+        store = ResultStore(str(tmp_path))
+        store.save(job.key, result)
+        assert store.load(job.key) == result
+
+    def test_second_run_zero_resimulations(self, tmp_path):
+        campaign = Campaign.matrix(
+            apps=["swaptions"], policies=["at-commit", "spb"], sb_sizes=[14],
+            length=1_000, threads=2, workload_kind="parsec",
+        )
+        store = ResultStore(str(tmp_path))
+        first = run_campaign(campaign, store=store, max_workers=1)
+        assert first.ok and first.telemetry.simulated == len(campaign)
+        second = run_campaign(campaign, store=store, max_workers=1)
+        assert second.ok and second.telemetry.simulated == 0
+        for job in campaign:
+            assert second.get(job) == first.get(job)
+
+    def test_matrix_threads_sets_num_cores_and_kind(self):
+        campaign = Campaign.matrix(
+            apps=["dedup"], policies=["spb"], length=1_000,
+            threads=4, workload_kind="parsec",
+        )
+        for job in campaign:
+            assert job.threads == 4
+            assert job.config.num_cores == 4
+            assert job.workload_kind == "parsec"
+
+    def test_engine_does_not_change_multicore_keys(self):
+        kwargs = dict(
+            apps=["dedup"], policies=["spb"], length=1_000,
+            threads=2, workload_kind="parsec",
+        )
+        reference = Campaign.matrix(**kwargs)
+        fast = Campaign.matrix(engine="fast", **kwargs)
+        assert [job.key for job in reference] == [job.key for job in fast]
+
+    def test_manifest_threads_key(self):
+        campaign = campaign_from_manifest({
+            "apps": ["swaptions"], "threads": 2,
+            "workload_kind": "parsec", "length": 1_000,
+        })
+        assert all(job.threads == 2 for job in campaign)

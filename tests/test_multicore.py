@@ -43,14 +43,56 @@ class TestExecution:
         b = simulate_multicore(traces, SystemConfig(num_cores=2))
         assert a.cycles == b.cycles
 
-    def test_single_core_multicore_close_to_simulate(self):
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_single_core_multicore_matches_simulate_exactly(self, engine):
+        """A 1-core multicore run times out identically to ``simulate``.
+
+        The schedulers only differ from the single-core loop in how they
+        *attribute* skipped cycles to stall causes, never in when anything
+        happens — so cycle counts and committed work must match exactly.
+        """
         from repro import simulate
 
-        traces = parsec("dedup", threads=1, length=4_000)
-        multi = simulate_multicore(traces, SystemConfig(num_cores=1))
-        single = simulate(traces[0], SystemConfig())
-        # Same machinery modulo the lockstep scheduler's bookkeeping.
-        assert abs(multi.cycles - single.cycles) / single.cycles < 0.05
+        for app, length in (("dedup", 4_000), ("swaptions", 2_000)):
+            traces = parsec(app, threads=1, length=length)
+            config = SystemConfig.skylake(num_cores=1, engine=engine)
+            multi = simulate_multicore(traces, config)
+            single = simulate(traces[0], config)
+            assert multi.cycles == single.cycles
+            assert multi.per_core[0].committed_uops == (
+                single.pipeline.committed_uops
+            )
+
+    def test_engine_override_beats_config(self):
+        traces = parsec("swaptions", threads=2, length=2_000)
+        config = SystemConfig.skylake(num_cores=2, engine="reference")
+        ref = simulate_multicore(traces, config)
+        fast = simulate_multicore(traces, config, engine="fast")
+        assert fast.cycles == ref.cycles
+        assert fast.per_core == ref.per_core
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_one_core_finishing_far_earlier_than_peers(self, engine):
+        """A core with 1/16th the work retires and unblocks the others."""
+        long_trace = parsec("dedup", threads=1, length=8_000)[0]
+        short_trace = parsec("swaptions", threads=1, length=500)[0]
+        config = SystemConfig.skylake(num_cores=2, engine=engine)
+        result = simulate_multicore([long_trace, short_trace], config)
+        assert result.per_core[0].committed_uops == 8_000
+        assert result.per_core[1].committed_uops == 500
+        assert result.per_core[1].cycles < result.per_core[0].cycles
+        assert result.cycles == result.per_core[0].cycles
+
+    def test_uneven_trace_lengths_bit_identical_across_engines(self):
+        """The early-finisher path (heap drops the core) matches lockstep."""
+        long_trace = parsec("dedup", threads=1, length=8_000)[0]
+        short_trace = parsec("swaptions", threads=1, length=500)[0]
+        runs = {}
+        for engine in ("reference", "fast"):
+            config = SystemConfig.skylake(num_cores=2, engine=engine)
+            runs[engine] = simulate_multicore([long_trace, short_trace], config)
+        assert runs["fast"].cycles == runs["reference"].cycles
+        assert runs["fast"].per_core == runs["reference"].per_core
 
 
 class TestCoherenceInteraction:

@@ -10,8 +10,13 @@ speedups are cleanest):
   throughput recorded in the committed ``BENCH_fastpath.json`` snapshot
   (machine-dependent — skip on slow machines).
 
+A second pair of assertions covers the multicore event-heap scheduler:
+fast ≥ 1.5× reference in-process on a 4-core dedup cell (``run()`` timed
+only — construction is engine-independent), and the committed
+``BENCH_multicore.json`` snapshot must record a geomean ≥ 1.8×.
+
 ``REPRO_SKIP_PERF=1`` skips the whole module (laptops, loaded CI boxes).
-Regenerate the snapshot with ``python benchmarks/bench_simulator_throughput.py``.
+Regenerate both snapshots with ``python benchmarks/bench_simulator_throughput.py``.
 """
 
 from __future__ import annotations
@@ -33,7 +38,12 @@ pytestmark = pytest.mark.skipif(
 
 LENGTH = 10_000
 ROUNDS = 5
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = _ROOT / "BENCH_fastpath.json"
+MULTICORE_BENCH_PATH = _ROOT / "BENCH_multicore.json"
+MULTICORE_THREADS = 4
+MULTICORE_LENGTH = 8_000
+MULTICORE_ROUNDS = 3
 
 
 @pytest.fixture(scope="module")
@@ -94,3 +104,60 @@ def test_snapshot_records_the_target_speedup():
     assert set(snapshot["cells"]) == {
         "compute/at-commit", "memory/at-commit", "burst/at-commit", "burst/spb",
     }
+
+
+@pytest.fixture(scope="module")
+def multicore_timings():
+    """Best-of-N run() seconds per engine on a 4-core dedup cell.
+
+    Construction (trace annotation, per-µop array precompute) is shared,
+    engine-independent work, so each timed region covers ``system.run()``
+    only — a fresh ``MulticoreSystem`` is built untimed before each run.
+    """
+    from repro import parsec
+    from repro.multicore.system import MulticoreSystem
+
+    traces = parsec("dedup", threads=MULTICORE_THREADS, length=MULTICORE_LENGTH)
+    configs = {
+        engine: SystemConfig.skylake(
+            sb_entries=14, store_prefetch="spb",
+            num_cores=MULTICORE_THREADS, engine=engine,
+        )
+        for engine in ("reference", "fast")
+    }
+    for config in configs.values():
+        MulticoreSystem(config, list(traces)).run()  # warm-up
+    best = {engine: float("inf") for engine in configs}
+    gc.disable()
+    try:
+        for _ in range(MULTICORE_ROUNDS):
+            for engine, config in configs.items():
+                system = MulticoreSystem(config, list(traces))
+                gc.collect()
+                start = time.perf_counter()
+                result = system.run()
+                best[engine] = min(best[engine], time.perf_counter() - start)
+                assert result.committed_uops == (
+                    MULTICORE_THREADS * MULTICORE_LENGTH
+                )
+    finally:
+        gc.enable()
+    return best
+
+
+def test_multicore_fast_engine_at_least_1_5x_reference(multicore_timings):
+    speedup = multicore_timings["reference"] / multicore_timings["fast"]
+    assert speedup >= 1.5, (
+        f"multicore fast engine only {speedup:.2f}x reference "
+        f"(ref {multicore_timings['reference']:.4f}s, "
+        f"fast {multicore_timings['fast']:.4f}s); "
+        "the event-heap scheduler has regressed"
+    )
+
+
+def test_multicore_snapshot_records_target_speedup():
+    """The committed multicore snapshot must document the ≥1.8× headline."""
+    snapshot = json.loads(MULTICORE_BENCH_PATH.read_text())
+    assert snapshot["geomean_speedup"] >= 1.8
+    assert snapshot["threads"] == 8
+    assert snapshot["cells"]
